@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks of the functional substrate: GEMM,
+//! quantization, normalization and sampling kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetero_tensor::ops;
+use hetero_tensor::quant::{Int8Matrix, W4Matrix};
+use hetero_tensor::rng::WeightRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let rng = WeightRng::new(1);
+    for n in [32usize, 64, 128, 256] {
+        let a = rng.uniform("a", &[n, n], 1.0).unwrap();
+        let b = rng.uniform("b", &[n, n], 1.0).unwrap();
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(&a, &b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let rng = WeightRng::new(2);
+    let a = rng.uniform("a", &[1024, 1024], 1.0).unwrap();
+    let v: Vec<f32> = (0..1024).map(|i| i as f32 * 1e-3).collect();
+    c.bench_function("gemv_1024", |b| b.iter(|| ops::gemv(&a, &v).unwrap()));
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quant");
+    let rng = WeightRng::new(3);
+    let w = rng.uniform("w", &[1024, 256], 0.5).unwrap();
+    group.bench_function("w4_quantize_1024x256", |b| {
+        b.iter(|| W4Matrix::quantize(&w, 64).unwrap())
+    });
+    let q = W4Matrix::quantize(&w, 64).unwrap();
+    group.bench_function("w4_dequantize_1024x256", |b| {
+        b.iter(|| q.dequantize().unwrap())
+    });
+    group.bench_function("int8_quantize_1024x256", |b| {
+        b.iter(|| Int8Matrix::quantize(&w).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_aux_kernels(c: &mut Criterion) {
+    let rng = WeightRng::new(4);
+    let x = rng.uniform("x", &[64, 4096], 2.0).unwrap();
+    let gain = vec![1.0f32; 4096];
+    c.bench_function("rmsnorm_64x4096", |b| {
+        b.iter(|| ops::rmsnorm(&x, &gain, 1e-5).unwrap())
+    });
+    c.bench_function("softmax_64x4096", |b| {
+        b.iter(|| ops::softmax_rows(&x).unwrap())
+    });
+    let gate = rng.uniform("g", &[64, 4096], 2.0).unwrap();
+    c.bench_function("swiglu_64x4096", |b| {
+        b.iter(|| ops::swiglu(&gate, &x).unwrap())
+    });
+    let mut r = x.clone();
+    c.bench_function("rope_64x4096", |b| {
+        b.iter(|| ops::apply_rope(&mut r, 32, 128, 7, 10000.0).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_gemv,
+    bench_quant,
+    bench_aux_kernels
+);
+criterion_main!(benches);

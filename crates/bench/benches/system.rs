@@ -1,0 +1,159 @@
+//! Criterion benchmarks of the system layers: simulator kernel pricing,
+//! partition solving, plan-table lookups and end-to-end engine
+//! simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_profiler::db::BwCondition;
+use hetero_profiler::tree::TreeParams;
+use hetero_profiler::{CostProvider, DecisionTree, RealExecProvider};
+use hetero_soc::sync::{Dominance, SyncMechanism};
+use hetero_soc::{Backend, KernelDesc, Soc, SocConfig};
+use hetero_solver::{Solver, SolverConfig};
+use hetero_tensor::shape::MatmulShape;
+use hetero_tensor::DType;
+use heterollm::{EngineKind, ModelConfig};
+
+fn bench_sim_pricing(c: &mut Criterion) {
+    let soc = Soc::new(SocConfig::snapdragon_8gen3());
+    let kernel = KernelDesc::matmul_w4a16(MatmulShape::new(256, 4096, 14336));
+    c.bench_function("sim_npu_kernel_pricing", |b| {
+        b.iter(|| soc.solo_kernel_time(Backend::Npu, &kernel))
+    });
+    c.bench_function("sim_gpu_kernel_pricing", |b| {
+        b.iter(|| soc.solo_kernel_time(Backend::Gpu, &kernel))
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    let provider = RealExecProvider::new(SocConfig::snapdragon_8gen3());
+    let solver = Solver::new(provider, SolverConfig::default());
+    for (name, shape) in [
+        ("qkv_256", MatmulShape::new(256, 4096, 6144)),
+        ("ffn_down_256", MatmulShape::new(256, 14336, 4096)),
+        ("misaligned_525", MatmulShape::new(525, 4096, 14336)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("solve", name), &shape, |b, &s| {
+            b.iter(|| solver.solve(s, Dominance::NpuDominant))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decision_tree(c: &mut Criterion) {
+    // Train on a realistic profile grid.
+    let provider = RealExecProvider::new(SocConfig::snapdragon_8gen3());
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for m in (32..=1024).step_by(32) {
+        for n in [1024usize, 4096, 14336] {
+            let shape = MatmulShape::new(m, 4096, n);
+            let t = provider.matmul_cost(
+                Backend::Npu,
+                shape,
+                DType::F16,
+                DType::Int4,
+                BwCondition::Solo,
+            );
+            x.push(hetero_profiler::predict::shape_features(
+                shape,
+                DType::F16,
+                DType::Int4,
+                BwCondition::Solo,
+            ));
+            y.push(t.as_secs_f64().ln());
+        }
+    }
+    c.bench_function("tree_fit_96_samples", |b| {
+        b.iter(|| DecisionTree::fit(&x, &y, TreeParams::default()).unwrap())
+    });
+    let tree = DecisionTree::fit(&x, &y, TreeParams::default()).unwrap();
+    c.bench_function("tree_predict", |b| b.iter(|| tree.predict(&x[17])));
+}
+
+fn bench_e2e_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_sim");
+    group.sample_size(10);
+    let model = ModelConfig::llama_3b();
+    group.bench_function("hetero_tensor_prefill_256", |b| {
+        b.iter(|| {
+            let mut e = EngineKind::HeteroTensor.build(&model, SyncMechanism::Fast);
+            e.prefill(256)
+        })
+    });
+    group.bench_function("hetero_tensor_decode_16", |b| {
+        b.iter(|| {
+            let mut e = EngineKind::HeteroTensor.build(&model, SyncMechanism::Fast);
+            e.decode(256, 16)
+        })
+    });
+    group.bench_function("ppl_opencl_prefill_256", |b| {
+        b.iter(|| {
+            let mut e = EngineKind::PplOpenCl.build(&model, SyncMechanism::Fast);
+            e.prefill(256)
+        })
+    });
+    group.finish();
+}
+
+fn bench_des_and_thermal(c: &mut Criterion) {
+    use hetero_soc::des::EventQueue;
+    use hetero_soc::thermal::ThermalModel;
+    use hetero_soc::SimTime;
+
+    c.bench_function("des_event_queue_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(i * 37 % 100_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    let thermal = ThermalModel::default();
+    c.bench_function("thermal_sustained_30min", |b| {
+        b.iter(|| thermal.sustained_factor(4.0, 1800.0))
+    });
+}
+
+fn bench_forest(c: &mut Criterion) {
+    use hetero_profiler::forest::{ForestParams, RandomForest};
+    let x: Vec<Vec<f64>> = (0..96).map(|i| vec![i as f64, (i * i) as f64]).collect();
+    let y: Vec<f64> = (0..96).map(|i| (i as f64).sqrt()).collect();
+    c.bench_function("forest_fit_16x96", |b| {
+        b.iter(|| RandomForest::fit(&x, &y, ForestParams::default()).unwrap())
+    });
+    let f = RandomForest::fit(&x, &y, ForestParams::default()).unwrap();
+    c.bench_function("forest_predict", |b| b.iter(|| f.predict(&x[31])));
+}
+
+fn bench_interference(c: &mut Criterion) {
+    use hetero_soc::interference::{simulate, LlmBurst, RenderWorkload};
+    use hetero_soc::SimTime;
+    let bursts: Vec<LlmBurst> = (0..500)
+        .map(|_| LlmBurst {
+            gap_before: SimTime::from_micros(900),
+            gpu_time: SimTime::from_micros(400),
+        })
+        .collect();
+    let render = RenderWorkload::game_60fps();
+    c.bench_function("interference_sim_500_bursts", |b| {
+        b.iter(|| simulate(&bursts, &render))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sim_pricing,
+    bench_solver,
+    bench_decision_tree,
+    bench_e2e_engines,
+    bench_des_and_thermal,
+    bench_forest,
+    bench_interference
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Ablation: the §4.2 host–device shared memory pool.
+//!
+//! Replays the buffer acquire/release pattern of a full prefill trace
+//! through the pool and through a fresh-allocation policy, then prices
+//! the device-mapping cost each policy incurs (each fresh allocation
+//! must be mapped into the device address space — the ≈400 µs cost the
+//! pool's persistent mappings avoid).
+
+use hetero_bench::{fmt, save_json, Table};
+use hetero_soc::calib::GPU_MAP_COPY_US;
+use heterollm::mempool::MemoryPool;
+use heterollm::trace::prefill_trace;
+use heterollm::ModelConfig;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    model: String,
+    seq: usize,
+    pooled_allocations: u64,
+    fresh_allocations: u64,
+    pooled_overhead_ms: f64,
+    fresh_overhead_ms: f64,
+    reuse_rate: f64,
+    peak_bytes: u64,
+}
+
+/// Replay the trace's per-op output-buffer pattern: acquire the output,
+/// release the previous op's output (it has been consumed).
+fn replay(model: &ModelConfig, seq: usize, pooled: bool) -> (u64, f64, f64, u64) {
+    let trace = prefill_trace(model, seq);
+    let mut pool = MemoryPool::new();
+    let mut previous = None;
+    for op in trace.iter_all() {
+        let out_bytes = match &op.kernel.op {
+            hetero_soc::OpKind::Matmul { shape, out, .. } => {
+                (shape.m * shape.n) as u64 * out.bits() as u64 / 8
+            }
+            hetero_soc::OpKind::MemBound { write_bytes, .. } => (*write_bytes).max(1),
+            hetero_soc::OpKind::HostCopy { bytes } => *bytes,
+        };
+        let handle = pool.acquire(out_bytes);
+        if let Some(prev) = previous.replace(handle) {
+            if pooled {
+                pool.release(prev);
+            }
+            // Fresh policy: never return buffers, always map anew.
+        }
+    }
+    let stats = pool.stats();
+    let overhead_ms = stats.allocations as f64 * GPU_MAP_COPY_US / 1000.0;
+    (
+        stats.allocations,
+        overhead_ms,
+        stats.reuse_rate(),
+        stats.peak_live_bytes,
+    )
+}
+
+fn main() {
+    println!("Ablation: shared memory pool vs fresh per-op allocation\n");
+    let mut t = Table::new(&[
+        "model",
+        "seq",
+        "pooled allocs",
+        "fresh allocs",
+        "pooled map cost",
+        "fresh map cost",
+        "reuse rate",
+    ]);
+    let mut points = Vec::new();
+    for model in [ModelConfig::llama_8b(), ModelConfig::internlm_1_8b()] {
+        for seq in [64usize, 256, 1024] {
+            let (pa, po, pr, peak) = replay(&model, seq, true);
+            let (fa, fo, _, _) = replay(&model, seq, false);
+            t.row(&[
+                model.name.clone(),
+                seq.to_string(),
+                pa.to_string(),
+                fa.to_string(),
+                format!("{} ms", fmt(po)),
+                format!("{} ms", fmt(fo)),
+                format!("{:.1}%", pr * 100.0),
+            ]);
+            points.push(Point {
+                model: model.name.clone(),
+                seq,
+                pooled_allocations: pa,
+                fresh_allocations: fa,
+                pooled_overhead_ms: po,
+                fresh_overhead_ms: fo,
+                reuse_rate: pr,
+                peak_bytes: peak,
+            });
+        }
+    }
+    t.print();
+
+    for p in &points {
+        assert!(
+            p.pooled_allocations * 10 < p.fresh_allocations,
+            "{}@{}: pool should allocate ≫ fewer buffers",
+            p.model,
+            p.seq
+        );
+        assert!(
+            p.reuse_rate > 0.9,
+            "{}@{}: reuse {:.2}",
+            p.model,
+            p.seq,
+            p.reuse_rate
+        );
+    }
+    println!(
+        "\n§4.2 confirmed: \"this memory pool requires only a few buffer slots,\nwhich can be reused across the different layers\" — mapping overhead drops\nfrom hundreds of ms to a handful of slots."
+    );
+    save_json("ablate_mempool", &points);
+}

@@ -1,0 +1,141 @@
+//! Figure 13: prefill speed of different models under different prompt
+//! lengths, across all engines.
+
+use hetero_bench::{fmt, print_claims, save_json, Claim, Table};
+use hetero_soc::sync::SyncMechanism;
+use heterollm::{EngineKind, ModelConfig};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    model: String,
+    engine: String,
+    seq: usize,
+    tokens_per_sec: f64,
+}
+
+const ENGINES: [EngineKind; 7] = [
+    EngineKind::MnnOpenCl,
+    EngineKind::LlamaCpp,
+    EngineKind::Mlc,
+    EngineKind::PplOpenCl,
+    EngineKind::MllmNpu,
+    EngineKind::HeteroLayer,
+    EngineKind::HeteroTensor,
+];
+
+fn main() {
+    println!("Figure 13: prefill speed (tokens/s)\n");
+    let seqs = [64usize, 256, 1024];
+    let mut points = Vec::new();
+
+    for model in ModelConfig::evaluation_models() {
+        println!("== {} ==", model.name);
+        let mut t = Table::new(&["engine", "seq 64", "seq 256", "seq 1024"]);
+        for kind in ENGINES {
+            let mut cells = vec![kind.name().to_string()];
+            for &seq in &seqs {
+                let mut e = kind.build(&model, SyncMechanism::Fast);
+                let rate = e.prefill(seq).tokens_per_sec();
+                cells.push(fmt(rate));
+                points.push(Point {
+                    model: model.name.clone(),
+                    engine: kind.name().into(),
+                    seq,
+                    tokens_per_sec: rate,
+                });
+            }
+            t.row(&cells);
+        }
+        t.print();
+        println!();
+    }
+
+    let rate = |model: &str, engine: &str, seq: usize| {
+        points
+            .iter()
+            .find(|p| p.model == model && p.engine == engine && p.seq == seq)
+            .map(|p| p.tokens_per_sec)
+            .expect("point exists")
+    };
+
+    let hl = |m: &str, s: usize| rate(m, "Hetero-layer", s);
+    let ht = |m: &str, s: usize| rate(m, "Hetero-tensor", s);
+
+    print_claims(
+        "Paper claims (§5.2.1)",
+        &[
+            Claim {
+                what: "Llama-8B seq256: Hetero-layer / PPL-OpenCL (paper 2.99x)".into(),
+                paper: 2.99,
+                measured: hl("Llama-8B", 256) / rate("Llama-8B", "PPL-OpenCL", 256),
+                rel_tol: 0.35,
+            },
+            Claim {
+                what: "Llama-8B seq256: Hetero-layer / MLC (paper 5.64x)".into(),
+                paper: 5.64,
+                measured: hl("Llama-8B", 256) / rate("Llama-8B", "MLC", 256),
+                rel_tol: 0.35,
+            },
+            Claim {
+                what: "Llama-8B seq256: Hetero-layer / MNN (paper 5.85x)".into(),
+                paper: 5.85,
+                measured: hl("Llama-8B", 256) / rate("Llama-8B", "MNN-OpenCL", 256),
+                rel_tol: 0.35,
+            },
+            Claim {
+                what: "Llama-8B seq256: Hetero-layer / llama.cpp (paper 24.9x)".into(),
+                paper: 24.9,
+                measured: hl("Llama-8B", 256) / rate("Llama-8B", "llama.cpp", 256),
+                rel_tol: 0.45,
+            },
+            Claim {
+                what: "Llama-8B seq1024: Hetero-tensor / MLC (paper 9.99x)".into(),
+                paper: 9.99,
+                measured: ht("Llama-8B", 1024) / rate("Llama-8B", "MLC", 1024),
+                rel_tol: 0.45,
+            },
+            Claim {
+                what: "Llama-8B seq1024: Hetero-tensor / MNN (paper 4.36x)".into(),
+                paper: 4.36,
+                measured: ht("Llama-8B", 1024) / rate("Llama-8B", "MNN-OpenCL", 1024),
+                rel_tol: 0.60,
+            },
+            Claim {
+                what: "Llama-8B seq1024: Hetero-tensor tokens/s (paper 247.9)".into(),
+                paper: 247.9,
+                measured: ht("Llama-8B", 1024),
+                rel_tol: 0.35,
+            },
+            Claim {
+                what: "InternLM-1.8B seq256: Hetero-tensor tokens/s (paper 1092)".into(),
+                paper: 1092.0,
+                measured: ht("InternLM-1.8B", 256),
+                rel_tol: 0.35,
+            },
+            Claim {
+                what: "InternLM-1.8B@256: Hetero-tensor / MLLM-NPU (paper 1092/564 = 1.94x)".into(),
+                paper: 1.94,
+                measured: ht("InternLM-1.8B", 256) / rate("InternLM-1.8B", "MLLM-NPU", 256),
+                rel_tol: 0.35,
+            },
+            Claim {
+                what: "Hetero-tensor / Hetero-layer avg gain (paper ~1.30x)".into(),
+                paper: 1.30,
+                measured: {
+                    let mut acc = 0.0;
+                    let mut n = 0.0;
+                    for m in ["Llama-8B", "Llama-7B", "Llama-3B", "InternLM-1.8B"] {
+                        for s in seqs {
+                            acc += ht(m, s) / hl(m, s);
+                            n += 1.0;
+                        }
+                    }
+                    acc / n
+                },
+                rel_tol: 0.20,
+            },
+        ],
+    );
+    save_json("fig13_prefill", &points);
+}

@@ -1,0 +1,108 @@
+//! Figure 16: decoding rate of all engines across the four models
+//! (prompt length 256).
+
+use hetero_bench::{fmt, print_claims, save_json, Claim, Table};
+use hetero_soc::sync::SyncMechanism;
+use heterollm::{EngineKind, ModelConfig};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    model: String,
+    engine: String,
+    tokens_per_sec: f64,
+}
+
+const ENGINES: [EngineKind; 6] = [
+    EngineKind::MnnOpenCl,
+    EngineKind::LlamaCpp,
+    EngineKind::Mlc,
+    EngineKind::PplOpenCl,
+    EngineKind::HeteroLayer,
+    EngineKind::HeteroTensor,
+];
+
+fn main() {
+    println!("Figure 16: decoding rate (tokens/s), prompt length 256\n");
+    let mut points = Vec::new();
+    let models = ModelConfig::evaluation_models();
+    let mut t = Table::new(&[
+        "engine",
+        "Llama-8B",
+        "Llama-7B",
+        "Llama-3B",
+        "InternLM-1.8B",
+    ]);
+    for kind in ENGINES {
+        let mut cells = vec![kind.name().to_string()];
+        for model in &models {
+            let mut e = kind.build(model, SyncMechanism::Fast);
+            let rate = e.decode(256, 16).tokens_per_sec();
+            cells.push(fmt(rate));
+            points.push(Point {
+                model: model.name.clone(),
+                engine: kind.name().into(),
+                tokens_per_sec: rate,
+            });
+        }
+        t.row(&cells);
+    }
+    t.print();
+
+    let rate = |model: &str, engine: &str| {
+        points
+            .iter()
+            .find(|p| p.model == model && p.engine == engine)
+            .map(|p| p.tokens_per_sec)
+            .expect("point exists")
+    };
+
+    print_claims(
+        "Paper claims (§5.3)",
+        &[
+            Claim {
+                what: "Llama-8B Hetero-tensor tokens/s (paper 14.01)".into(),
+                paper: 14.01,
+                measured: rate("Llama-8B", "Hetero-tensor"),
+                rel_tol: 0.25,
+            },
+            Claim {
+                what: "Llama-3B Hetero-tensor tokens/s (paper 29.9)".into(),
+                paper: 29.9,
+                measured: rate("Llama-3B", "Hetero-tensor"),
+                rel_tol: 0.30,
+            },
+            Claim {
+                what: "InternLM-1.8B Hetero-tensor tokens/s (paper 51.12)".into(),
+                paper: 51.12,
+                measured: rate("InternLM-1.8B", "Hetero-tensor"),
+                rel_tol: 0.30,
+            },
+            Claim {
+                what: "Llama-8B: Hetero-tensor / PPL-OpenCL (paper 1.234x)".into(),
+                paper: 1.234,
+                measured: rate("Llama-8B", "Hetero-tensor") / rate("Llama-8B", "PPL-OpenCL"),
+                rel_tol: 0.15,
+            },
+            Claim {
+                what: "Llama-8B: Hetero-tensor / MNN (paper 1.50x)".into(),
+                paper: 1.50,
+                measured: rate("Llama-8B", "Hetero-tensor") / rate("Llama-8B", "MNN-OpenCL"),
+                rel_tol: 0.25,
+            },
+            Claim {
+                what: "Llama-8B: Hetero-tensor / llama.cpp (paper 2.53x)".into(),
+                paper: 2.53,
+                measured: rate("Llama-8B", "Hetero-tensor") / rate("Llama-8B", "llama.cpp"),
+                rel_tol: 0.25,
+            },
+            Claim {
+                what: "Llama-8B: Hetero-layer ≈ PPL-OpenCL (ratio ≈ 1)".into(),
+                paper: 1.0,
+                measured: rate("Llama-8B", "Hetero-layer") / rate("Llama-8B", "PPL-OpenCL"),
+                rel_tol: 0.12,
+            },
+        ],
+    );
+    save_json("fig16_decode", &points);
+}

@@ -1,0 +1,96 @@
+//! Command-line driver for the simulated inference stack.
+//!
+//! ```text
+//! cargo run --release -p hetero-bench --bin heterollm_sim -- \
+//!     --model llama-8b --engine hetero-tensor --prompt 256 --decode 64 [--sync driver]
+//! ```
+
+use hetero_soc::sync::SyncMechanism;
+use heterollm::{EngineKind, InferenceSession, ModelConfig};
+
+struct Args {
+    model: ModelConfig,
+    engine: EngineKind,
+    prompt: usize,
+    decode: usize,
+    sync: SyncMechanism,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: heterollm_sim [--model MODEL] [--engine ENGINE] [--prompt N] [--decode N] [--sync fast|driver]\n\
+         \n\
+         MODEL:  llama-8b | llama-7b | llama-3b | internlm-1.8b | mistral-7b | qwen2-1.5b\n\
+         ENGINE: hetero-tensor | hetero-layer | ppl-opencl | mlc | mnn-opencl |\n\
+                 llama-cpp | padding | online-prepare | pipe | chunked-prefill | mllm-npu"
+    );
+    std::process::exit(2);
+}
+
+fn parse_model(s: &str) -> Option<ModelConfig> {
+    ModelConfig::by_name(s)
+}
+
+fn parse_engine(s: &str) -> Option<EngineKind> {
+    s.parse().ok()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        model: ModelConfig::llama_8b(),
+        engine: EngineKind::HeteroTensor,
+        prompt: 256,
+        decode: 64,
+        sync: SyncMechanism::Fast,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--model" => args.model = parse_model(&value()).unwrap_or_else(|| usage()),
+            "--engine" => args.engine = parse_engine(&value()).unwrap_or_else(|| usage()),
+            "--prompt" => args.prompt = value().parse().unwrap_or_else(|_| usage()),
+            "--decode" => args.decode = value().parse().unwrap_or_else(|_| usage()),
+            "--sync" => {
+                args.sync = match value().as_str() {
+                    "fast" => SyncMechanism::Fast,
+                    "driver" => SyncMechanism::Driver,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "simulating {} on {} ({} prompt tokens, {} decode tokens, {:?} sync)\n",
+        args.engine.name(),
+        args.model.name,
+        args.prompt,
+        args.decode,
+        args.sync
+    );
+    let mut session = InferenceSession::with_sync(args.engine, &args.model, args.sync);
+    let r = session.run(args.prompt, args.decode);
+    println!(
+        "prefill : {:>10}  ({:.1} tokens/s)",
+        r.prefill.elapsed.to_string(),
+        r.prefill.tokens_per_sec()
+    );
+    println!(
+        "decode  : {:>10}  ({:.2} tokens/s)",
+        r.decode.elapsed.to_string(),
+        r.decode.tokens_per_sec()
+    );
+    println!("TTFT    : {:>10}", r.ttft().to_string());
+    println!("TPOT    : {:>10}", r.tpot().to_string());
+    println!(
+        "power   : {:>9.2}W  energy {:.2} J",
+        r.power.avg_power_w, r.power.energy_j
+    );
+}

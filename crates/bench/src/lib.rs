@@ -1,0 +1,206 @@
+#![warn(missing_docs)]
+
+//! Experiment harness utilities: table rendering, paper-vs-measured
+//! comparison rows, and JSON result persistence.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` (see `DESIGN.md` for the index). Binaries print the
+//! regenerated rows/series and write machine-readable results under
+//! `target/experiments/` which the `report` binary assembles into
+//! `EXPERIMENTS.md`.
+
+pub mod plot;
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// A paper-claim check: the measured value against the paper's value
+/// with a qualitative tolerance.
+#[derive(Debug, Clone, Serialize)]
+pub struct Claim {
+    /// What is being compared.
+    pub what: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Acceptable |measured/paper - 1| for a ✓.
+    pub rel_tol: f64,
+}
+
+impl Claim {
+    /// Whether the measured value falls within tolerance.
+    pub fn holds(&self) -> bool {
+        if self.paper == 0.0 {
+            return self.measured == 0.0;
+        }
+        (self.measured / self.paper - 1.0).abs() <= self.rel_tol
+    }
+
+    /// One-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "  [{}] {}: paper {:.2}, measured {:.2} ({:+.1}%)",
+            if self.holds() { "ok" } else { "--" },
+            self.what,
+            self.paper,
+            self.measured,
+            (self.measured / self.paper - 1.0) * 100.0,
+        )
+    }
+}
+
+/// Print a titled claim block.
+pub fn print_claims(title: &str, claims: &[Claim]) {
+    println!("\n{title}");
+    for c in claims {
+        println!("{}", c.render());
+    }
+}
+
+/// Directory for machine-readable experiment results.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Persist a serializable result set under `target/experiments/`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize experiment");
+    fs::write(&path, json).expect("write experiment json");
+    println!("\n[saved {}]", path.display());
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("name"));
+        assert!(r.lines().count() == 4);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| name | value |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_checks_width() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn claim_tolerance() {
+        let c = Claim {
+            what: "x".into(),
+            paper: 100.0,
+            measured: 108.0,
+            rel_tol: 0.10,
+        };
+        assert!(c.holds());
+        let c2 = Claim {
+            what: "x".into(),
+            paper: 100.0,
+            measured: 130.0,
+            rel_tol: 0.10,
+        };
+        assert!(!c2.holds());
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(1234.5), "1234"); // round-half-to-even
+        assert_eq!(fmt(34.56), "34.6");
+        assert_eq!(fmt(3.456), "3.46");
+        assert_eq!(fmt(0.0), "0");
+    }
+}

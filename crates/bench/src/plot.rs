@@ -1,0 +1,150 @@
+//! Minimal terminal plotting: multi-series line charts rendered with
+//! block characters, so the figure binaries can show the *shape* of
+//! each curve directly in the terminal next to the numeric tables.
+
+/// A named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points (need not be sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series from points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Render series into a `width`×`height` character grid with simple
+/// axes; returns the multi-line string.
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "plot area too small");
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return "(no data)\n".into();
+    }
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Pad degenerate ranges.
+    if x_max <= x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max <= y_min {
+        y_max = y_min + 1.0;
+    }
+    // Anchor the y axis at zero when data is non-negative and near it.
+    if y_min > 0.0 && y_min < 0.3 * y_max {
+        y_min = 0.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>10.1} |")
+        } else if i == height - 1 {
+            format!("{y_min:>10.1} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10} +{}\n{:>12}{x_min:<12.0}{:>w$.0}\n",
+        "",
+        "-".repeat(width),
+        "",
+        x_max,
+        w = width.saturating_sub(12)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>12}{} {}\n",
+            "",
+            MARKS[si % MARKS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+/// Print a titled plot.
+pub fn print_plot(title: &str, series: &[Series], width: usize, height: usize) {
+    println!("\n{title}");
+    print!("{}", render(series, width, height));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_bounds() {
+        let s = Series::new(
+            "line",
+            (0..20).map(|i| (i as f64, i as f64 * 2.0)).collect(),
+        );
+        let r = render(&[s], 40, 10);
+        assert!(r.contains('*'));
+        assert!(r.contains("line"));
+        // Height rows + axis + x labels + legend.
+        assert!(r.lines().count() >= 12);
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_marks() {
+        let a = Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("b", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let r = render(&[a, b], 30, 8);
+        assert!(r.contains('*') && r.contains('o'));
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        assert_eq!(render(&[], 30, 8), "(no data)\n");
+        let empty = Series::new("e", vec![]);
+        assert_eq!(render(&[empty], 30, 8), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = Series::new("flat", vec![(0.0, 5.0), (10.0, 5.0)]);
+        let r = render(&[s], 30, 6);
+        assert!(r.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "plot area too small")]
+    fn rejects_tiny_area() {
+        render(&[], 4, 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! High-level session API.
+
+use hetero_soc::sync::SyncMechanism;
+
+use crate::engines::{Engine, EngineKind};
+use crate::model::ModelConfig;
+use crate::report::SessionReport;
+
+/// A full inference session: engine + model, driven through prefill
+/// and decode, producing a [`SessionReport`].
+///
+/// # Examples
+///
+/// ```
+/// use heterollm::{EngineKind, InferenceSession, ModelConfig};
+///
+/// let mut session = InferenceSession::new(
+///     EngineKind::HeteroTensor,
+///     &ModelConfig::internlm_1_8b(),
+/// );
+/// let report = session.run(256, 32);
+/// assert!(report.prefill.tokens_per_sec() > 100.0);
+/// ```
+pub struct InferenceSession {
+    engine: Box<dyn Engine>,
+}
+
+impl InferenceSession {
+    /// New session with fast synchronization (HeteroLLM default).
+    pub fn new(kind: EngineKind, model: &ModelConfig) -> Self {
+        Self::with_sync(kind, model, SyncMechanism::Fast)
+    }
+
+    /// New session with an explicit sync mechanism.
+    pub fn with_sync(kind: EngineKind, model: &ModelConfig, sync: SyncMechanism) -> Self {
+        Self {
+            engine: kind.build(model, sync),
+        }
+    }
+
+    /// Access the underlying engine.
+    pub fn engine(&self) -> &dyn Engine {
+        self.engine.as_ref()
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut dyn Engine {
+        self.engine.as_mut()
+    }
+
+    /// Run prefill over `prompt_len` tokens, then `decode_tokens`
+    /// decode steps; finalize power accounting.
+    pub fn run(&mut self, prompt_len: usize, decode_tokens: usize) -> SessionReport {
+        let prefill = self.engine.prefill(prompt_len);
+        let decode = self.engine.decode(prompt_len, decode_tokens);
+        let power = self.engine.finish();
+        SessionReport {
+            engine: self.engine.name(),
+            model: self.engine.model().name.clone(),
+            prefill,
+            decode,
+            power,
+        }
+    }
+}
+
+/// One turn of a chat conversation.
+#[derive(Debug, Clone, Copy)]
+pub struct ChatTurn {
+    /// New prompt tokens appended this turn (user message + template).
+    pub prompt_tokens: usize,
+    /// Tokens generated in response.
+    pub response_tokens: usize,
+}
+
+/// Per-turn latency metrics of a conversation.
+#[derive(Debug, Clone)]
+pub struct ConversationReport {
+    /// TTFT and TPOT per turn, with the context length at turn start.
+    pub turns: Vec<TurnReport>,
+    /// End-to-end simulated duration.
+    pub total: hetero_soc::SimTime,
+    /// Average power over the whole conversation.
+    pub power: hetero_soc::power::PowerReport,
+}
+
+/// Metrics of one conversation turn.
+#[derive(Debug, Clone, Copy)]
+pub struct TurnReport {
+    /// Context length when the turn started.
+    pub context_at_start: usize,
+    /// Time to first token of this turn.
+    pub ttft: hetero_soc::SimTime,
+    /// Mean time per generated token.
+    pub tpot: hetero_soc::SimTime,
+}
+
+impl InferenceSession {
+    /// Run a multi-turn conversation: each turn prefills the new prompt
+    /// tokens (the KV prefix persists) and decodes a response.
+    ///
+    /// Attention cost during a turn's prefill is approximated with the
+    /// turn's own length; decode attends over the full accumulated
+    /// context.
+    pub fn run_conversation(&mut self, turns: &[ChatTurn]) -> ConversationReport {
+        let mut ctx = 0usize;
+        let mut reports = Vec::with_capacity(turns.len());
+        for turn in turns {
+            let prefill = self.engine.prefill(turn.prompt_tokens);
+            ctx += turn.prompt_tokens;
+            let decode = self.engine.decode(ctx, turn.response_tokens);
+            reports.push(TurnReport {
+                context_at_start: ctx - turn.prompt_tokens,
+                ttft: prefill.elapsed,
+                tpot: decode.per_token(),
+            });
+            ctx += turn.response_tokens;
+        }
+        let total = self.engine.soc().clock();
+        let power = self.engine.finish();
+        ConversationReport {
+            turns: reports,
+            total,
+            power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_produces_full_report() {
+        let mut s = InferenceSession::new(EngineKind::HeteroTensor, &ModelConfig::llama_3b());
+        let r = s.run(64, 8);
+        assert_eq!(r.engine, "Hetero-tensor");
+        assert_eq!(r.model, "Llama-3B");
+        assert_eq!(r.prefill.tokens, 64);
+        assert_eq!(r.decode.tokens, 8);
+        assert!(r.ttft() > hetero_soc::SimTime::ZERO);
+        assert!(r.tpot() > hetero_soc::SimTime::ZERO);
+        assert!(r.power.energy_j > 0.0);
+    }
+
+    #[test]
+    fn conversation_accumulates_context() {
+        let mut s = InferenceSession::new(EngineKind::HeteroTensor, &ModelConfig::llama_3b());
+        let turns = [
+            ChatTurn {
+                prompt_tokens: 64,
+                response_tokens: 8,
+            },
+            ChatTurn {
+                prompt_tokens: 32,
+                response_tokens: 8,
+            },
+            ChatTurn {
+                prompt_tokens: 32,
+                response_tokens: 8,
+            },
+        ];
+        let r = s.run_conversation(&turns);
+        assert_eq!(r.turns.len(), 3);
+        assert_eq!(r.turns[0].context_at_start, 0);
+        assert_eq!(r.turns[1].context_at_start, 72);
+        assert_eq!(r.turns[2].context_at_start, 112);
+        // Later turns decode over longer context: TPOT non-decreasing.
+        assert!(r.turns[2].tpot >= r.turns[0].tpot);
+        assert!(r.total > hetero_soc::SimTime::ZERO);
+        assert!(r.power.avg_power_w > 0.0);
+    }
+
+    #[test]
+    fn ttft_scales_with_prompt() {
+        let mut short = InferenceSession::new(EngineKind::PplOpenCl, &ModelConfig::llama_3b());
+        let mut long = InferenceSession::new(EngineKind::PplOpenCl, &ModelConfig::llama_3b());
+        let a = short.run(64, 1);
+        let b = long.run(512, 1);
+        assert!(b.ttft() > a.ttft());
+    }
+}

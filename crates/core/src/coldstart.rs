@@ -1,0 +1,114 @@
+//! Cold-start modeling: time from app launch to first usable request.
+//!
+//! §5.2.2 weighs graph-preparation strategies partly by their loading
+//! overhead ("Pipe ... has less overhead in graph loading"). Cold start
+//! has two components on a phone:
+//!
+//! 1. **Weight loading** — streaming the W4A16 checkpoint from UFS
+//!    flash into the unified memory.
+//! 2. **NPU graph preparation** — compiling (or deserializing) the
+//!    static graphs the engine's strategy needs before the first
+//!    request can run at full speed.
+//!
+//! Online-prepare defers all graph work to request time (fast launch,
+//! slow first request); preloading every standard size does the
+//! opposite.
+
+use hetero_graph::{CompileModel, GraphCache};
+use hetero_soc::calib::STANDARD_GRAPH_SIZES;
+use hetero_soc::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelConfig;
+
+/// Sequential read bandwidth of UFS 4.0 flash, GB/s.
+pub const UFS_READ_GBPS: f64 = 2.0;
+
+/// Fraction of full compile cost to *load* a previously compiled graph
+/// from the on-disk cache (QNN context blobs deserialize much faster
+/// than they compile, but not for free).
+pub const GRAPH_LOAD_FRACTION: f64 = 0.15;
+
+/// Cold-start breakdown for one engine configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ColdStartReport {
+    /// Time to stream the quantized weights from flash.
+    pub weight_load: SimTime,
+    /// Time to prepare NPU graphs before the first request.
+    pub graph_prep: SimTime,
+    /// Total launch-to-ready time.
+    pub total: SimTime,
+}
+
+/// Graph-preparation strategies at cold start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphPrep {
+    /// Compile every standard prefill size plus the decode graph.
+    CompileAllStandards,
+    /// Load pre-compiled standard graphs from the on-disk cache.
+    LoadCachedStandards,
+    /// Prepare only the decode graph; prefill graphs are generated at
+    /// request time (the Online-prepare strategy).
+    DecodeOnly,
+}
+
+/// Compute the cold-start breakdown for `model` under `prep`.
+pub fn cold_start(model: &ModelConfig, prep: GraphPrep) -> ColdStartReport {
+    let weight_load =
+        SimTime::from_secs_f64(model.weight_bytes_w4() as f64 / (UFS_READ_GBPS * 1e9));
+
+    let mut cache = GraphCache::new(model.graph_set(), CompileModel::default());
+    let graph_prep = match prep {
+        GraphPrep::CompileAllStandards => {
+            let mut t = cache.preload(&STANDARD_GRAPH_SIZES);
+            t += cache.preload(&[1]);
+            t
+        }
+        GraphPrep::LoadCachedStandards => {
+            let mut t = cache.preload(&STANDARD_GRAPH_SIZES);
+            t += cache.preload(&[1]);
+            t.scale(GRAPH_LOAD_FRACTION)
+        }
+        GraphPrep::DecodeOnly => cache.preload(&[1]),
+    };
+
+    ColdStartReport {
+        weight_load,
+        graph_prep,
+        total: weight_load + graph_prep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_load_scales_with_model_size() {
+        let small = cold_start(&ModelConfig::internlm_1_8b(), GraphPrep::DecodeOnly);
+        let large = cold_start(&ModelConfig::llama_8b(), GraphPrep::DecodeOnly);
+        assert!(large.weight_load > small.weight_load.scale(3.0));
+        // ≈4.5 GB at 2 GB/s ⇒ ≈2.3 s.
+        let s = large.weight_load.as_secs_f64();
+        assert!((1.5..3.5).contains(&s), "weight load {s}s");
+    }
+
+    #[test]
+    fn prep_strategies_order_as_expected() {
+        let m = ModelConfig::llama_8b();
+        let compile = cold_start(&m, GraphPrep::CompileAllStandards);
+        let cached = cold_start(&m, GraphPrep::LoadCachedStandards);
+        let lazy = cold_start(&m, GraphPrep::DecodeOnly);
+        assert!(compile.graph_prep > cached.graph_prep);
+        assert!(cached.graph_prep > lazy.graph_prep);
+        // Compiling all standards is seconds of work (6 sizes × 4 ops
+        // at hundreds of ms each, Fig. 9).
+        assert!(compile.graph_prep.as_secs_f64() > 2.0);
+    }
+
+    #[test]
+    fn totals_are_component_sums() {
+        let r = cold_start(&ModelConfig::llama_3b(), GraphPrep::LoadCachedStandards);
+        assert_eq!(r.total, r.weight_load + r.graph_prep);
+    }
+}

@@ -1,0 +1,264 @@
+//! Inference engines: HeteroLLM (layer- and tensor-level) plus the
+//! baseline engines the paper compares against.
+//!
+//! All engines execute the same [`crate::trace`] through the
+//! `hetero-soc` simulator; they differ only in *scheduling policy* —
+//! which backend each kernel runs on, whether Matmuls are partitioned,
+//! and which synchronization mechanism crosses backends. That is
+//! exactly the degrees of freedom the paper explores.
+
+pub mod hetero_layer;
+pub mod hetero_tensor;
+pub mod mllm_npu;
+pub mod npu_only;
+pub mod single;
+
+pub use hetero_layer::HeteroLayerEngine;
+pub use hetero_tensor::HeteroTensorEngine;
+pub use mllm_npu::MllmNpuEngine;
+pub use npu_only::{MisalignStrategy, NpuOnlyEngine};
+pub use single::{GpuTier, SingleBackendEngine};
+
+use ::hetero_tensor::shape::MatmulShape;
+use ::hetero_tensor::DType;
+use hetero_soc::power::PowerReport;
+use hetero_soc::sync::SyncMechanism;
+use hetero_soc::{calib, KernelDesc, Soc, SocConfig};
+
+use crate::model::ModelConfig;
+use crate::report::PhaseReport;
+
+/// A schedulable inference engine (timing mode).
+pub trait Engine {
+    /// Engine display name (matches the paper's figure legends).
+    fn name(&self) -> String;
+
+    /// The model this engine instance serves.
+    fn model(&self) -> &ModelConfig;
+
+    /// Run the prefill phase for a prompt of `prompt_len` tokens.
+    fn prefill(&mut self, prompt_len: usize) -> PhaseReport;
+
+    /// Run `n_tokens` decode steps following a prompt of `prompt_len`.
+    fn decode(&mut self, prompt_len: usize, n_tokens: usize) -> PhaseReport;
+
+    /// Access the simulated SoC (clock, meter, trace).
+    fn soc(&self) -> &Soc;
+
+    /// Mutable SoC access.
+    fn soc_mut(&mut self) -> &mut Soc;
+
+    /// Finalize energy accounting and report power for the whole run.
+    fn finish(&mut self) -> PowerReport {
+        self.soc_mut().finish().report()
+    }
+}
+
+/// The engines evaluated in the paper, constructible by name.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_soc::sync::SyncMechanism;
+/// use heterollm::{EngineKind, ModelConfig};
+///
+/// let model = ModelConfig::internlm_1_8b();
+/// let mut engine = EngineKind::HeteroTensor.build(&model, SyncMechanism::Fast);
+/// let report = engine.prefill(256);
+/// assert!(report.tokens_per_sec() > 1000.0); // the paper's headline claim
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// llama.cpp: CPU-only, W4A16.
+    LlamaCpp,
+    /// MLC: GPU-only (TVM-compiled kernels).
+    Mlc,
+    /// MNN-OpenCL: GPU-only.
+    MnnOpenCl,
+    /// PPL-OpenCL: GPU-only (the baseline HeteroLLM builds on).
+    PplOpenCl,
+    /// NPU matmuls with padding to standard graph sizes.
+    NpuPadding,
+    /// NPU matmuls with runtime graph generation per request.
+    NpuOnlinePrepare,
+    /// NPU matmuls with pipe (multi-sequence-length) decomposition.
+    NpuPipe,
+    /// MLLM-NPU-style chunked prefill (fixed 512-token chunks).
+    ChunkedPrefill,
+    /// MLLM-NPU comparator: chunked INT8 NPU prefill, CPU aux kernels.
+    MllmNpu,
+    /// HeteroLLM, layer-level heterogeneous execution.
+    HeteroLayer,
+    /// HeteroLLM, tensor-level heterogeneous execution.
+    HeteroTensor,
+}
+
+impl EngineKind {
+    /// All engine kinds.
+    pub const ALL: [EngineKind; 11] = [
+        EngineKind::LlamaCpp,
+        EngineKind::Mlc,
+        EngineKind::MnnOpenCl,
+        EngineKind::PplOpenCl,
+        EngineKind::NpuPadding,
+        EngineKind::NpuOnlinePrepare,
+        EngineKind::NpuPipe,
+        EngineKind::ChunkedPrefill,
+        EngineKind::MllmNpu,
+        EngineKind::HeteroLayer,
+        EngineKind::HeteroTensor,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::LlamaCpp => "llama.cpp",
+            Self::Mlc => "MLC",
+            Self::MnnOpenCl => "MNN-OpenCL",
+            Self::PplOpenCl => "PPL-OpenCL",
+            Self::NpuPadding => "Padding",
+            Self::NpuOnlinePrepare => "Online-prepare",
+            Self::NpuPipe => "Pipe",
+            Self::ChunkedPrefill => "Chunked-Prefill",
+            Self::MllmNpu => "MLLM-NPU",
+            Self::HeteroLayer => "Hetero-layer",
+            Self::HeteroTensor => "Hetero-tensor",
+        }
+    }
+
+    /// Build an engine for `model` with the given sync mechanism
+    /// (baselines ignore `sync` — they use their stock driver paths,
+    /// which for single-backend engines involve no cross-backend
+    /// synchronization at all).
+    pub fn build(self, model: &ModelConfig, sync: SyncMechanism) -> Box<dyn Engine> {
+        match self {
+            Self::LlamaCpp => Box::new(SingleBackendEngine::llama_cpp(model)),
+            Self::Mlc => Box::new(SingleBackendEngine::gpu(model, GpuTier::Mlc)),
+            Self::MnnOpenCl => Box::new(SingleBackendEngine::gpu(model, GpuTier::Mnn)),
+            Self::PplOpenCl => Box::new(SingleBackendEngine::gpu(model, GpuTier::PplOpenCl)),
+            Self::NpuPadding => {
+                Box::new(NpuOnlyEngine::new(model, MisalignStrategy::Padding, sync))
+            }
+            Self::NpuOnlinePrepare => Box::new(NpuOnlyEngine::new(
+                model,
+                MisalignStrategy::OnlinePrepare,
+                sync,
+            )),
+            Self::NpuPipe => Box::new(NpuOnlyEngine::new(model, MisalignStrategy::Pipe, sync)),
+            Self::ChunkedPrefill => Box::new(NpuOnlyEngine::new(
+                model,
+                MisalignStrategy::Chunked { chunk: 512 },
+                sync,
+            )),
+            Self::MllmNpu => Box::new(MllmNpuEngine::new(model, sync)),
+            Self::HeteroLayer => Box::new(HeteroLayerEngine::new(model, sync)),
+            Self::HeteroTensor => Box::new(HeteroTensorEngine::new(model, sync)),
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    /// Parse a CLI-style engine name (`"hetero-tensor"`, `"mlc"`, ...).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "hetero-tensor" => Self::HeteroTensor,
+            "hetero-layer" => Self::HeteroLayer,
+            "ppl-opencl" | "ppl" => Self::PplOpenCl,
+            "mlc" => Self::Mlc,
+            "mnn-opencl" | "mnn" => Self::MnnOpenCl,
+            "llama-cpp" | "llama.cpp" => Self::LlamaCpp,
+            "padding" => Self::NpuPadding,
+            "online-prepare" => Self::NpuOnlinePrepare,
+            "pipe" => Self::NpuPipe,
+            "chunked-prefill" => Self::ChunkedPrefill,
+            "mllm-npu" => Self::MllmNpu,
+            other => return Err(format!("unknown engine '{other}'")),
+        })
+    }
+}
+
+/// The SoC configuration HeteroLLM-family engines run on: PPL-quality
+/// GPU kernels (HeteroLLM extends PPL, §5.1) plus the chosen sync
+/// mechanism.
+pub fn hetero_soc_config(sync: SyncMechanism) -> SocConfig {
+    let mut cfg = SocConfig::snapdragon_8gen3().with_sync(sync);
+    cfg.gpu = GpuTier::PplOpenCl.gpu_model();
+    cfg
+}
+
+/// The NPU-side kernel for a logical Matmul `[m,k] x [k,n]`: operands
+/// permuted to `[n,k] x [k,m]` (§4) so the INT4 weight streams and the
+/// FP16 activation is stationary.
+pub fn npu_kernel(shape: MatmulShape) -> KernelDesc {
+    KernelDesc::matmul(shape.reversed(), DType::Int4, DType::F16, DType::F16)
+}
+
+/// The GPU-side kernel for a logical Matmul (W4A16: FP16 activations,
+/// INT4 weights dequantized in-kernel).
+pub fn gpu_kernel(shape: MatmulShape) -> KernelDesc {
+    KernelDesc::matmul_w4a16(shape)
+}
+
+/// Decode bandwidth tier helper: clamp the CPU's achievable bandwidth
+/// for the llama.cpp engine.
+pub(crate) fn llama_cpp_soc_config() -> SocConfig {
+    let mut cfg = SocConfig::snapdragon_8gen3();
+    cfg.mem.cpu_cap_gbps = calib::engine_decode_bw::LLAMA_CPP;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(EngineKind::Mlc.name(), "MLC");
+        assert_eq!(EngineKind::HeteroTensor.name(), "Hetero-tensor");
+        assert_eq!(EngineKind::ALL.len(), 11);
+    }
+
+    #[test]
+    fn all_engines_construct_and_run_tiny() {
+        let model = ModelConfig::tiny();
+        for kind in EngineKind::ALL {
+            let mut e = kind.build(&model, SyncMechanism::Fast);
+            let p = e.prefill(33); // deliberately misaligned
+            assert!(p.elapsed > hetero_soc::SimTime::ZERO, "{}", e.name());
+            let d = e.decode(33, 3);
+            assert_eq!(d.tokens, 3, "{}", e.name());
+            let power = e.finish();
+            assert!(power.avg_power_w > 0.0, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn engine_names_parse() {
+        for kind in EngineKind::ALL {
+            // Round-trip through a CLI-style slug.
+            let slug = kind.name().to_ascii_lowercase();
+            let parsed: EngineKind = slug
+                .parse()
+                .unwrap_or_else(|_| panic!("{} failed to parse", kind.name()));
+            assert_eq!(parsed, kind);
+        }
+        assert!("warp-drive".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn npu_kernel_is_permuted() {
+        let k = npu_kernel(MatmulShape::new(256, 4096, 14336));
+        match &k.op {
+            hetero_soc::OpKind::Matmul {
+                shape, act, weight, ..
+            } => {
+                assert_eq!((shape.m, shape.k, shape.n), (14336, 4096, 256));
+                assert_eq!(*act, DType::Int4);
+                assert_eq!(*weight, DType::F16);
+            }
+            _ => panic!("not a matmul"),
+        }
+    }
+}

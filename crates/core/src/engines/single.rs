@@ -1,0 +1,198 @@
+//! Single-backend baseline engines: llama.cpp (CPU) and the GPU-only
+//! frameworks (MLC, MNN-OpenCL, PPL-OpenCL).
+//!
+//! These engines run every kernel of the trace serially on one backend.
+//! They need no cross-backend synchronization, but also leave the other
+//! accelerators — and most of the SoC's memory bandwidth — idle
+//! (Memory-①).
+
+use hetero_soc::gpu::GpuModel;
+use hetero_soc::{calib, Backend, Soc, SocConfig};
+
+use crate::engines::{llama_cpp_soc_config, Engine};
+use crate::model::ModelConfig;
+use crate::report::PhaseReport;
+use crate::trace::{decode_trace, prefill_trace, PhaseTrace};
+
+/// GPU kernel-quality tiers of the baseline frameworks (derived from
+/// the paper's relative results; see [`calib::engine_eff`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuTier {
+    /// PPL-OpenCL: hand-tuned kernels, ≈1 TFLOPS achieved, full
+    /// streaming bandwidth.
+    PplOpenCl,
+    /// MLC (TVM-compiled kernels).
+    Mlc,
+    /// MNN-OpenCL.
+    Mnn,
+}
+
+impl GpuTier {
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::PplOpenCl => "PPL-OpenCL",
+            Self::Mlc => "MLC",
+            Self::Mnn => "MNN-OpenCL",
+        }
+    }
+
+    /// The GPU model of this tier.
+    pub fn gpu_model(self) -> GpuModel {
+        // Sequence slopes reproduce Fig. 13's divergence at long
+        // prompts: MNN's tiling improves with rows (≈4.36× gap to
+        // Hetero-tensor at 1024 vs 5.85× at 256) while MLC's TVM
+        // kernels degrade (9.99× gap at 1024).
+        let (eff, decode_bw, seq_slope) = match self {
+            Self::PplOpenCl => (
+                calib::engine_eff::PPL_OPENCL,
+                calib::engine_decode_bw::PPL_OPENCL,
+                0.0,
+            ),
+            Self::Mlc => (calib::engine_eff::MLC, calib::engine_decode_bw::MLC, -0.12),
+            Self::Mnn => (calib::engine_eff::MNN, calib::engine_decode_bw::MNN, 0.375),
+        };
+        let mut gpu = GpuModel::with_efficiency(eff);
+        gpu.mem_efficiency = decode_bw / calib::GPU_MAX_BW_GBPS;
+        gpu.seq_slope = seq_slope;
+        gpu
+    }
+}
+
+/// An engine that schedules the whole trace on one backend.
+pub struct SingleBackendEngine {
+    name: String,
+    cfg: ModelConfig,
+    backend: Backend,
+    soc: Soc,
+}
+
+impl SingleBackendEngine {
+    /// A GPU-only engine of the given framework tier.
+    pub fn gpu(model: &ModelConfig, tier: GpuTier) -> Self {
+        let mut soc_cfg = SocConfig::snapdragon_8gen3();
+        soc_cfg.gpu = tier.gpu_model();
+        Self {
+            name: tier.name().to_string(),
+            cfg: model.clone(),
+            backend: Backend::Gpu,
+            soc: Soc::new(soc_cfg),
+        }
+    }
+
+    /// The llama.cpp-style CPU engine.
+    pub fn llama_cpp(model: &ModelConfig) -> Self {
+        let mut soc = Soc::new(llama_cpp_soc_config());
+        soc.set_cpu_compute();
+        Self {
+            name: "llama.cpp".to_string(),
+            cfg: model.clone(),
+            backend: Backend::Cpu,
+            soc,
+        }
+    }
+
+    fn run_trace(&mut self, trace: &PhaseTrace) {
+        for op in trace.iter_all() {
+            self.soc
+                .run_serial(self.backend, std::slice::from_ref(&op.kernel));
+        }
+    }
+}
+
+impl Engine for SingleBackendEngine {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn model(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn prefill(&mut self, prompt_len: usize) -> PhaseReport {
+        let start = self.soc.clock();
+        let trace = prefill_trace(&self.cfg, prompt_len);
+        self.run_trace(&trace);
+        PhaseReport {
+            tokens: prompt_len,
+            elapsed: self.soc.clock() - start,
+        }
+    }
+
+    fn decode(&mut self, prompt_len: usize, n_tokens: usize) -> PhaseReport {
+        let start = self.soc.clock();
+        for t in 0..n_tokens {
+            let trace = decode_trace(&self.cfg, prompt_len + t + 1, 1);
+            self.run_trace(&trace);
+        }
+        PhaseReport {
+            tokens: n_tokens,
+            elapsed: self.soc.clock() - start,
+        }
+    }
+
+    fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    fn soc_mut(&mut self) -> &mut Soc {
+        &mut self.soc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppl_decode_hits_calibrated_rate() {
+        // Llama-8B decode on PPL-OpenCL: weights ≈ 3.8 GB at 43.3 GB/s
+        // ≈ 11 tokens/s (the paper's Fig. 16 PPL point).
+        let mut e = SingleBackendEngine::gpu(&ModelConfig::llama_8b(), GpuTier::PplOpenCl);
+        let d = e.decode(256, 8);
+        let rate = d.tokens_per_sec();
+        assert!((9.0..13.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn gpu_tier_ordering_holds_in_prefill() {
+        // Fig. 13: PPL > MLC ≈ MNN for prefill throughput.
+        let model = ModelConfig::llama_8b();
+        let rate = |tier| {
+            let mut e = SingleBackendEngine::gpu(&model, tier);
+            e.prefill(256).tokens_per_sec()
+        };
+        let ppl = rate(GpuTier::PplOpenCl);
+        let mlc = rate(GpuTier::Mlc);
+        let mnn = rate(GpuTier::Mnn);
+        assert!(ppl > mlc * 1.5, "ppl {ppl} mlc {mlc}");
+        assert!(
+            (mlc / mnn) > 0.8 && (mlc / mnn) < 1.3,
+            "mlc {mlc} mnn {mnn}"
+        );
+        // Absolute scale: PPL ≈ 60–90 tok/s at seq 256 on Llama-8B.
+        assert!((50.0..100.0).contains(&ppl), "ppl {ppl}");
+    }
+
+    #[test]
+    fn llama_cpp_is_slowest() {
+        let model = ModelConfig::llama_8b();
+        let mut cpu = SingleBackendEngine::llama_cpp(&model);
+        let mut gpu = SingleBackendEngine::gpu(&model, GpuTier::Mlc);
+        let c = cpu.prefill(64).tokens_per_sec();
+        let g = gpu.prefill(64).tokens_per_sec();
+        assert!(g > c * 2.0, "gpu {g} cpu {c}");
+        // Decode: ≈ 23 GB/s over ≈3.8 GB of weights ≈ 5–7 tok/s.
+        let d = cpu.decode(64, 4).tokens_per_sec();
+        assert!((4.0..8.0).contains(&d), "cpu decode {d}");
+    }
+
+    #[test]
+    fn prefill_scales_roughly_linearly() {
+        let mut e = SingleBackendEngine::gpu(&ModelConfig::llama_3b(), GpuTier::PplOpenCl);
+        let t64 = e.prefill(64).elapsed.as_secs_f64();
+        let t256 = e.prefill(256).elapsed.as_secs_f64();
+        let ratio = t256 / t64;
+        assert!((3.0..6.0).contains(&ratio), "ratio {ratio}");
+    }
+}

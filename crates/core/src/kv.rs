@@ -1,0 +1,187 @@
+//! KV cache.
+//!
+//! Contiguous per-layer key/value storage with GQA-aware head counts.
+//! During decode each step appends one row; attention reads the full
+//! prefix — the memory-intensive pattern that makes decoding
+//! bandwidth-bound (§2.1).
+
+use hetero_tensor::{Result, Tensor, TensorError};
+
+/// Per-layer key/value cache for one sequence.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    kv_dim: usize,
+    max_seq: usize,
+    /// `layers × [max_seq, kv_dim]`, keys.
+    k: Vec<Tensor>,
+    /// `layers × [max_seq, kv_dim]`, values.
+    v: Vec<Tensor>,
+    len: usize,
+}
+
+impl KvCache {
+    /// Allocate a cache for `layers` layers.
+    pub fn new(layers: usize, max_seq: usize, kv_dim: usize) -> Self {
+        Self {
+            kv_dim,
+            max_seq,
+            k: (0..layers)
+                .map(|_| Tensor::zeros(&[max_seq, kv_dim]))
+                .collect(),
+            v: (0..layers)
+                .map(|_| Tensor::zeros(&[max_seq, kv_dim]))
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Current sequence length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum sequence length.
+    pub fn capacity(&self) -> usize {
+        self.max_seq
+    }
+
+    /// Append `rows` of keys/values to `layer` starting at the current
+    /// position (the position advances only via [`KvCache::advance`],
+    /// after all layers have appended).
+    pub fn append(&mut self, layer: usize, keys: &Tensor, values: &Tensor) -> Result<()> {
+        let (rows, width) = keys.matrix_dims()?;
+        let (vrows, vwidth) = values.matrix_dims()?;
+        if width != self.kv_dim || vwidth != self.kv_dim || rows != vrows {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "kv append [{rows},{width}]/[{vrows},{vwidth}] to kv_dim {}",
+                    self.kv_dim
+                ),
+            });
+        }
+        if self.len + rows > self.max_seq {
+            return Err(TensorError::OutOfBounds {
+                context: format!(
+                    "kv cache overflow: {} + {rows} > {}",
+                    self.len, self.max_seq
+                ),
+            });
+        }
+        let k = &mut self.k[layer];
+        let v = &mut self.v[layer];
+        for r in 0..rows {
+            let dst = (self.len + r) * self.kv_dim;
+            k.data_mut()[dst..dst + self.kv_dim].copy_from_slice(keys.row(r)?);
+            v.data_mut()[dst..dst + self.kv_dim].copy_from_slice(values.row(r)?);
+        }
+        Ok(())
+    }
+
+    /// Advance the shared position after all layers appended `rows`.
+    pub fn advance(&mut self, rows: usize) {
+        self.len = (self.len + rows).min(self.max_seq);
+    }
+
+    /// Keys of `layer` up to `ctx` rows (a copy; `[ctx, kv_dim]`).
+    pub fn keys(&self, layer: usize, ctx: usize) -> Result<Tensor> {
+        self.k[layer].slice_rows(0, ctx)
+    }
+
+    /// Values of `layer` up to `ctx` rows.
+    pub fn values(&self, layer: usize, ctx: usize) -> Result<Tensor> {
+        self.v[layer].slice_rows(0, ctx)
+    }
+
+    /// Bytes one decode step must read from the cache across all layers
+    /// (both K and V, FP16 storage) at context length `ctx`.
+    pub fn decode_read_bytes(layers: usize, kv_dim: usize, ctx: usize) -> u64 {
+        2 * layers as u64 * ctx as u64 * kv_dim as u64 * 2
+    }
+
+    /// Reset to empty (retains allocation).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(rows: usize, width: usize, base: f32) -> Tensor {
+        Tensor::from_vec(
+            (0..rows * width).map(|i| base + i as f32).collect(),
+            &[rows, width],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut kv = KvCache::new(2, 16, 4);
+        let k = filled(3, 4, 0.0);
+        let v = filled(3, 4, 100.0);
+        kv.append(0, &k, &v).unwrap();
+        kv.append(1, &k, &v).unwrap();
+        kv.advance(3);
+        assert_eq!(kv.len(), 3);
+        assert_eq!(kv.keys(0, 3).unwrap(), k);
+        assert_eq!(kv.values(1, 3).unwrap(), v);
+    }
+
+    #[test]
+    fn incremental_decode_appends() {
+        let mut kv = KvCache::new(1, 8, 2);
+        for step in 0..4 {
+            let k = filled(1, 2, step as f32 * 10.0);
+            kv.append(0, &k, &k).unwrap();
+            kv.advance(1);
+        }
+        assert_eq!(kv.len(), 4);
+        let keys = kv.keys(0, 4).unwrap();
+        assert_eq!(keys.at(&[2, 0]).unwrap(), 20.0);
+        assert_eq!(keys.at(&[3, 1]).unwrap(), 31.0);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let mut kv = KvCache::new(1, 2, 2);
+        let k = filled(2, 2, 0.0);
+        kv.append(0, &k, &k).unwrap();
+        kv.advance(2);
+        assert!(kv
+            .append(0, &filled(1, 2, 0.0), &filled(1, 2, 0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut kv = KvCache::new(1, 8, 4);
+        let bad = filled(1, 3, 0.0);
+        let good = filled(1, 4, 0.0);
+        assert!(kv.append(0, &bad, &good).is_err());
+        assert!(kv.append(0, &good, &bad).is_err());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut kv = KvCache::new(1, 8, 2);
+        kv.append(0, &filled(1, 2, 0.0), &filled(1, 2, 0.0))
+            .unwrap();
+        kv.advance(1);
+        kv.clear();
+        assert!(kv.is_empty());
+        assert_eq!(kv.capacity(), 8);
+    }
+
+    #[test]
+    fn decode_read_bytes_formula() {
+        // 32 layers, kv_dim 1024, ctx 256: 2 * 32 * 256 * 1024 * 2B = 32 MB.
+        assert_eq!(KvCache::decode_read_bytes(32, 1024, 256), 33_554_432);
+    }
+}

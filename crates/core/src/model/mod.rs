@@ -1,0 +1,7 @@
+//! Model definitions: decoder configurations and synthetic weights.
+
+pub mod config;
+pub mod weights;
+
+pub use config::ModelConfig;
+pub use weights::ModelWeights;

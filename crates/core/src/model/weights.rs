@@ -1,0 +1,158 @@
+//! Synthetic model weights for functional mode.
+//!
+//! Deterministically generated (seeded per weight name) and stored in
+//! the system's W4A16 format: INT4 group-quantized weight matrices with
+//! FP32 norm gains and embeddings. The same `(seed, config)` pair
+//! always yields bit-identical weights, which the engine-equivalence
+//! tests rely on.
+
+use hetero_tensor::quant::W4Matrix;
+use hetero_tensor::rng::WeightRng;
+use hetero_tensor::{Result, Tensor};
+
+use crate::model::ModelConfig;
+
+/// One decoder layer's weights.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Fused QKV projection `[hidden, hidden + 2·kv_dim]`.
+    pub qkv: W4Matrix,
+    /// Output projection `[hidden, hidden]`.
+    pub attn_out: W4Matrix,
+    /// Fused gate/up projection `[hidden, 2·ffn]`.
+    pub gate_up: W4Matrix,
+    /// Down projection `[ffn, hidden]`.
+    pub ffn_down: W4Matrix,
+    /// Attention-input RMSNorm gain.
+    pub attn_norm: Vec<f32>,
+    /// FFN-input RMSNorm gain.
+    pub ffn_norm: Vec<f32>,
+}
+
+/// Full model weights (functional mode).
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// Token embedding table `[vocab, hidden]` (FP32 storage; gathers
+    /// are cheap).
+    pub embedding: Tensor,
+    /// Decoder layers.
+    pub layers: Vec<LayerWeights>,
+    /// Final RMSNorm gain.
+    pub final_norm: Vec<f32>,
+    /// LM head `[hidden, vocab]`.
+    pub lm_head: W4Matrix,
+}
+
+/// Quantization group size used for all weight matrices.
+pub const WEIGHT_GROUP: usize = 64;
+
+impl ModelWeights {
+    /// Generate weights for `cfg` from `seed`.
+    ///
+    /// Intended for scaled-down configs; generating a full 8B model
+    /// would take minutes and gigabytes.
+    pub fn generate(cfg: &ModelConfig, seed: u64) -> Result<Self> {
+        let rng = WeightRng::new(seed);
+        let group = WEIGHT_GROUP.min(cfg.hidden).min(cfg.ffn);
+        let quant = |t: &Tensor| W4Matrix::quantize(t, group);
+
+        let mut layers = Vec::with_capacity(cfg.layers);
+        for l in 0..cfg.layers {
+            let p = |s: &str| format!("layer{l}.{s}");
+            layers.push(LayerWeights {
+                qkv: quant(&rng.kaiming(&p("qkv"), cfg.hidden, cfg.hidden + 2 * cfg.kv_dim())?)?,
+                attn_out: quant(&rng.kaiming(&p("attn_out"), cfg.hidden, cfg.hidden)?)?,
+                gate_up: quant(&rng.kaiming(&p("gate_up"), cfg.hidden, 2 * cfg.ffn)?)?,
+                ffn_down: quant(&rng.kaiming(&p("ffn_down"), cfg.ffn, cfg.hidden)?)?,
+                attn_norm: ones_with_jitter(&rng, &p("attn_norm"), cfg.hidden)?,
+                ffn_norm: ones_with_jitter(&rng, &p("ffn_norm"), cfg.hidden)?,
+            });
+        }
+
+        Ok(Self {
+            embedding: rng.uniform("embedding", &[cfg.vocab, cfg.hidden], 0.05)?,
+            layers,
+            final_norm: ones_with_jitter(&rng, "final_norm", cfg.hidden)?,
+            lm_head: quant(&rng.kaiming("lm_head", cfg.hidden, cfg.vocab)?)?,
+        })
+    }
+
+    /// Total storage bytes of the quantized matrices.
+    pub fn quantized_bytes(&self) -> usize {
+        let per_layer: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                l.qkv.storage_bytes()
+                    + l.attn_out.storage_bytes()
+                    + l.gate_up.storage_bytes()
+                    + l.ffn_down.storage_bytes()
+            })
+            .sum();
+        per_layer + self.lm_head.storage_bytes()
+    }
+}
+
+/// Norm gains near 1.0 (slight jitter so they are not no-ops in tests).
+fn ones_with_jitter(rng: &WeightRng, name: &str, n: usize) -> Result<Vec<f32>> {
+    let jitter = rng.uniform(name, &[n], 0.05)?;
+    Ok(jitter.data().iter().map(|j| 1.0 + j).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ModelConfig::tiny();
+        let a = ModelWeights::generate(&cfg, 7).unwrap();
+        let b = ModelWeights::generate(&cfg, 7).unwrap();
+        assert_eq!(a.embedding, b.embedding);
+        assert_eq!(
+            a.layers[0].qkv.dequantize().unwrap(),
+            b.layers[0].qkv.dequantize().unwrap()
+        );
+        let c = ModelWeights::generate(&cfg, 8).unwrap();
+        assert_ne!(a.embedding, c.embedding);
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = ModelConfig::tiny();
+        let w = ModelWeights::generate(&cfg, 1).unwrap();
+        assert_eq!(w.layers.len(), cfg.layers);
+        assert_eq!(
+            w.layers[0].qkv.dims(),
+            (cfg.hidden, cfg.hidden + 2 * cfg.kv_dim())
+        );
+        assert_eq!(w.layers[0].ffn_down.dims(), (cfg.ffn, cfg.hidden));
+        assert_eq!(w.lm_head.dims(), (cfg.hidden, cfg.vocab));
+        assert_eq!(w.embedding.shape().dims(), &[cfg.vocab, cfg.hidden]);
+        assert_eq!(w.final_norm.len(), cfg.hidden);
+    }
+
+    #[test]
+    fn norm_gains_near_one() {
+        let cfg = ModelConfig::tiny();
+        let w = ModelWeights::generate(&cfg, 1).unwrap();
+        for g in &w.layers[0].attn_norm {
+            assert!((0.9..=1.1).contains(g));
+        }
+    }
+
+    #[test]
+    fn quantized_bytes_accounted() {
+        let cfg = ModelConfig::tiny();
+        let w = ModelWeights::generate(&cfg, 1).unwrap();
+        assert!(w.quantized_bytes() > 0);
+        // Roughly half a byte per parameter for the matrices.
+        let matrix_params: usize = cfg.layers
+            * (cfg.hidden * (cfg.hidden + 2 * cfg.kv_dim())
+                + cfg.hidden * cfg.hidden
+                + cfg.hidden * 2 * cfg.ffn
+                + cfg.ffn * cfg.hidden)
+            + cfg.hidden * cfg.vocab;
+        assert!(w.quantized_bytes() < matrix_params);
+    }
+}

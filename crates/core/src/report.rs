@@ -1,0 +1,86 @@
+//! Run reports: the metrics every experiment consumes.
+
+use hetero_soc::power::PowerReport;
+use hetero_soc::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one inference phase (prefill or a decode run).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Tokens processed (prompt length for prefill, generated count for
+    /// decode).
+    pub tokens: usize,
+    /// Simulated wall-clock duration of the phase.
+    pub elapsed: SimTime,
+}
+
+impl PhaseReport {
+    /// Tokens per second.
+    pub fn tokens_per_sec(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        self.tokens as f64 / s
+    }
+
+    /// Mean latency per token.
+    pub fn per_token(&self) -> SimTime {
+        if self.tokens == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_nanos(self.elapsed.as_nanos() / self.tokens as u64)
+    }
+}
+
+/// A full prefill + decode session summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Engine name.
+    pub engine: String,
+    /// Model name.
+    pub model: String,
+    /// Prefill phase metrics (TTFT ≈ `prefill.elapsed`).
+    pub prefill: PhaseReport,
+    /// Decode phase metrics (TPOT ≈ `decode.per_token()`).
+    pub decode: PhaseReport,
+    /// Power/energy over the whole session.
+    pub power: PowerReport,
+}
+
+impl SessionReport {
+    /// Time to first token.
+    pub fn ttft(&self) -> SimTime {
+        self.prefill.elapsed
+    }
+
+    /// Time per output token.
+    pub fn tpot(&self) -> SimTime {
+        self.decode.per_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_latencies() {
+        let p = PhaseReport {
+            tokens: 256,
+            elapsed: SimTime::from_millis(1000),
+        };
+        assert!((p.tokens_per_sec() - 256.0).abs() < 1e-9);
+        assert_eq!(p.per_token(), SimTime::from_nanos(1_000_000_000 / 256));
+    }
+
+    #[test]
+    fn zero_cases() {
+        let p = PhaseReport {
+            tokens: 0,
+            elapsed: SimTime::ZERO,
+        };
+        assert_eq!(p.tokens_per_sec(), 0.0);
+        assert_eq!(p.per_token(), SimTime::ZERO);
+    }
+}

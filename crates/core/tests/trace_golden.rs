@@ -1,0 +1,121 @@
+//! Golden-sequence tests for the operator traces.
+//!
+//! The trace is the contract between the model definition and every
+//! engine; these tests pin the exact operator sequence (Fig. 7's
+//! execution flow) so an accidental reordering or omission cannot slip
+//! through refactors unnoticed.
+
+use heterollm::trace::{decode_trace, prefill_trace, OpRole};
+use heterollm::ModelConfig;
+
+const LAYER_GOLDEN: [&str; 13] = [
+    "attn_norm",
+    "qkv",
+    "rope",
+    "kv_append",
+    "attention",
+    "softmax",
+    "attn_out",
+    "residual1",
+    "ffn_norm",
+    "gate_up",
+    "swiglu",
+    "ffn_down",
+    "residual2",
+];
+
+#[test]
+fn prefill_layer_sequence_is_golden() {
+    let t = prefill_trace(&ModelConfig::llama_8b(), 256);
+    let names: Vec<&str> = t.layer.iter().map(|o| o.op).collect();
+    assert_eq!(names, LAYER_GOLDEN);
+    assert_eq!(
+        t.prologue.iter().map(|o| o.op).collect::<Vec<_>>(),
+        ["embed"]
+    );
+    assert_eq!(
+        t.epilogue.iter().map(|o| o.op).collect::<Vec<_>>(),
+        ["final_norm", "lm_head"]
+    );
+    assert_eq!(t.layers, 32);
+}
+
+#[test]
+fn decode_layer_sequence_matches_prefill() {
+    // Decode runs the same operator set; only shapes differ.
+    let p = prefill_trace(&ModelConfig::llama_3b(), 64);
+    let d = decode_trace(&ModelConfig::llama_3b(), 65, 1);
+    let pn: Vec<&str> = p.layer.iter().map(|o| o.op).collect();
+    let dn: Vec<&str> = d.layer.iter().map(|o| o.op).collect();
+    assert_eq!(pn, dn);
+}
+
+#[test]
+fn role_assignment_is_stable() {
+    let t = prefill_trace(&ModelConfig::llama_8b(), 128);
+    for op in t.layer.iter() {
+        let expected = match op.op {
+            "qkv" | "attn_out" | "gate_up" | "ffn_down" => OpRole::WeightMatmul,
+            "attention" => OpRole::Attention,
+            _ => OpRole::Aux,
+        };
+        assert_eq!(op.role, expected, "{}", op.op);
+    }
+}
+
+#[test]
+fn weight_matmul_shapes_match_model_dims() {
+    let cfg = ModelConfig::llama_8b();
+    let t = prefill_trace(&cfg, 256);
+    for op in t.layer.iter().filter(|o| o.role == OpRole::WeightMatmul) {
+        let s = op.shape.expect("shape");
+        assert_eq!(s.m, 256, "{}", op.op);
+        match op.op {
+            "qkv" => assert_eq!((s.k, s.n), (cfg.hidden, cfg.hidden + 2 * cfg.kv_dim())),
+            "attn_out" => assert_eq!((s.k, s.n), (cfg.hidden, cfg.hidden)),
+            "gate_up" => assert_eq!((s.k, s.n), (cfg.hidden, 2 * cfg.ffn)),
+            "ffn_down" => assert_eq!((s.k, s.n), (cfg.ffn, cfg.hidden)),
+            other => panic!("unexpected weight matmul {other}"),
+        }
+    }
+    // LM head computes only the final position during prefill.
+    let head = t.epilogue.last().expect("lm_head");
+    assert_eq!(head.shape.expect("shape").m, 1);
+}
+
+#[test]
+fn trace_totals_are_additive_across_layers() {
+    let cfg = ModelConfig::llama_3b();
+    let t = prefill_trace(&cfg, 64);
+    let per_layer: u64 = t.layer.iter().map(|o| o.kernel.flops()).sum();
+    let pro: u64 = t.prologue.iter().map(|o| o.kernel.flops()).sum();
+    let epi: u64 = t.epilogue.iter().map(|o| o.kernel.flops()).sum();
+    assert_eq!(t.total_flops(), pro + cfg.layers as u64 * per_layer + epi);
+}
+
+#[test]
+fn functional_execution_launches_exactly_the_timed_trace() {
+    // DESIGN.md's consistency promise: the kernels the functional model
+    // actually launches are precisely the weight Matmuls the timing
+    // trace prices — same ops, same shapes, same order.
+    use heterollm::functional::FunctionalModel;
+    use heterollm::trace::decode_trace;
+
+    let cfg = ModelConfig::tiny();
+    let prompt_len = 9usize;
+    let mut model = FunctionalModel::new(cfg.clone(), 5).unwrap();
+    let prompt: Vec<u32> = (0..prompt_len as u32).collect();
+    model.prefill(&prompt).unwrap();
+    model.decode_step(1).unwrap();
+
+    let mut expected = Vec::new();
+    let prefill = prefill_trace(&cfg, prompt_len);
+    for op in prefill.iter_all().filter(|o| o.role == OpRole::WeightMatmul) {
+        expected.push(op.shape.unwrap());
+    }
+    let decode = decode_trace(&cfg, prompt_len + 1, 1);
+    for op in decode.iter_all().filter(|o| o.role == OpRole::WeightMatmul) {
+        expected.push(op.shape.unwrap());
+    }
+    assert_eq!(model.executed_matmuls(), expected.as_slice());
+}

@@ -1,0 +1,130 @@
+//! Compiled-graph cache.
+//!
+//! Graphs are keyed by sequence length (all decoder layers share one
+//! graph per length, §5.2.2). The cache charges compile time exactly
+//! once per length; engines preload the standard sizes offline and the
+//! Online-prepare baseline compiles at request time.
+
+use std::collections::BTreeSet;
+
+use hetero_soc::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::compile::CompileModel;
+use crate::template::GraphSet;
+
+/// Cache of compiled NPU graphs for one model.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_graph::{CompileModel, GraphCache, GraphSet};
+/// use hetero_soc::SimTime;
+///
+/// let mut cache = GraphCache::new(GraphSet::llama8b(), CompileModel::default());
+/// let first = cache.ensure(256);
+/// assert!(first > SimTime::ZERO);          // compiled once...
+/// assert_eq!(cache.ensure(256), SimTime::ZERO); // ...free afterwards
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphCache {
+    set: GraphSet,
+    model: CompileModel,
+    compiled: BTreeSet<usize>,
+    total_compile_time: SimTime,
+}
+
+impl GraphCache {
+    /// New, empty cache for a model's graph set.
+    pub fn new(set: GraphSet, model: CompileModel) -> Self {
+        Self {
+            set,
+            model,
+            compiled: BTreeSet::new(),
+            total_compile_time: SimTime::ZERO,
+        }
+    }
+
+    /// Whether a graph for sequence length `m` exists.
+    pub fn has(&self, m: usize) -> bool {
+        self.compiled.contains(&m)
+    }
+
+    /// Ensure a graph for `m` exists, returning the compile time
+    /// charged (zero on a hit).
+    pub fn ensure(&mut self, m: usize) -> SimTime {
+        if m == 0 || self.has(m) {
+            return SimTime::ZERO;
+        }
+        let t = self.model.set_compile_time(&self.set, m);
+        self.compiled.insert(m);
+        self.total_compile_time += t;
+        t
+    }
+
+    /// Preload graphs for `sizes`, returning the total compile time.
+    /// Offline preparation pays this once, not per request.
+    pub fn preload(&mut self, sizes: &[usize]) -> SimTime {
+        sizes.iter().map(|&m| self.ensure(m)).sum()
+    }
+
+    /// Sequence lengths with compiled graphs.
+    pub fn compiled_sizes(&self) -> Vec<usize> {
+        self.compiled.iter().copied().collect()
+    }
+
+    /// Cumulative compile time charged so far.
+    pub fn total_compile_time(&self) -> SimTime {
+        self.total_compile_time
+    }
+
+    /// The graph set this cache compiles.
+    pub fn graph_set(&self) -> &GraphSet {
+        &self.set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> GraphCache {
+        GraphCache::new(GraphSet::llama8b(), CompileModel::default())
+    }
+
+    #[test]
+    fn first_ensure_charges_then_free() {
+        let mut c = cache();
+        assert!(!c.has(256));
+        let t1 = c.ensure(256);
+        assert!(t1 > SimTime::ZERO);
+        assert!(c.has(256));
+        assert_eq!(c.ensure(256), SimTime::ZERO);
+        assert_eq!(c.total_compile_time(), t1);
+    }
+
+    #[test]
+    fn preload_standard_sizes() {
+        let mut c = cache();
+        let t = c.preload(&[32, 64, 128, 256, 512, 1024]);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(c.compiled_sizes(), vec![32, 64, 128, 256, 512, 1024]);
+        // Re-preloading is free.
+        assert_eq!(c.preload(&[32, 1024]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_length_is_free() {
+        let mut c = cache();
+        assert_eq!(c.ensure(0), SimTime::ZERO);
+        assert!(!c.has(0));
+    }
+
+    #[test]
+    fn larger_graphs_cost_more() {
+        let mut c = cache();
+        let small = c.ensure(64);
+        let large = c.ensure(1024);
+        assert!(large > small);
+    }
+}

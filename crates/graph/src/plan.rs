@@ -1,0 +1,288 @@
+//! Sequence-length planners for static-graph NPUs (§4.1.1, §5.2.2).
+//!
+//! Given a request whose sequence length does not match any compiled
+//! graph, an NPU-side engine has three options, all implemented here:
+//!
+//! - **Padding** — round up to the next standard size and waste the
+//!   difference.
+//! - **Pipe** (multi-sequence-length cutting, NPU-only) — greedily
+//!   decompose into standard sizes run sequentially, padding only the
+//!   final margin to the smallest standard size.
+//! - **Pipe-with-margin** (the Hetero-tensor input) — same
+//!   decomposition, but the sub-standard margin is *returned* so the
+//!   solver can offload it to the GPU instead of padding.
+
+use serde::{Deserialize, Serialize};
+
+/// A sequence-length execution plan for the NPU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeqPlan {
+    /// Standard-size chunks executed sequentially on the NPU.
+    pub npu_chunks: Vec<usize>,
+    /// Rows that remain (0 when fully covered). Padding plans consume
+    /// the margin by padding; hetero plans hand it to the GPU.
+    pub margin: usize,
+    /// Rows of padding wasted by this plan.
+    pub padded_rows: usize,
+}
+
+impl SeqPlan {
+    /// Total rows the NPU executes, including padding.
+    pub fn npu_rows(&self) -> usize {
+        self.npu_chunks.iter().sum()
+    }
+
+    /// Rows of real (useful) work in the plan.
+    pub fn useful_rows(&self) -> usize {
+        self.npu_rows() - self.padded_rows + self.margin
+    }
+}
+
+/// The smallest standard size ≥ `len`, or `None` if `len` exceeds all
+/// standard sizes.
+pub fn next_standard(len: usize, standards: &[usize]) -> Option<usize> {
+    standards.iter().copied().filter(|&s| s >= len).min()
+}
+
+/// **Padding** plan: round the whole request up to a single standard
+/// graph (requests larger than the largest standard size fall back to
+/// pipe-style chunks of the largest size, padding the tail).
+pub fn padding_plan(len: usize, standards: &[usize]) -> SeqPlan {
+    assert!(
+        !standards.is_empty(),
+        "standard size list must be non-empty"
+    );
+    if len == 0 {
+        return SeqPlan {
+            npu_chunks: vec![],
+            margin: 0,
+            padded_rows: 0,
+        };
+    }
+    if let Some(s) = next_standard(len, standards) {
+        return SeqPlan {
+            npu_chunks: vec![s],
+            margin: 0,
+            padded_rows: s - len,
+        };
+    }
+    // len > max standard: full chunks of the max, then pad the tail.
+    let max = standards.iter().copied().max().expect("non-empty");
+    let mut chunks = vec![max; len / max];
+    let rest = len % max;
+    let mut padded = 0;
+    if rest > 0 {
+        let tail = next_standard(rest, standards).expect("rest < max");
+        padded = tail - rest;
+        chunks.push(tail);
+    }
+    SeqPlan {
+        npu_chunks: chunks,
+        margin: 0,
+        padded_rows: padded,
+    }
+}
+
+/// **Pipe** plan: greedy decomposition into standard sizes, padding
+/// only the final margin to the smallest covering standard size.
+///
+/// With power-of-two standards (every size divides the next) the
+/// greedy decomposition is optimal; for arbitrary size sets a greedy
+/// tail can out-waste plain padding, so the planner falls back to the
+/// padding plan whenever that one wastes less.
+pub fn pipe_plan(len: usize, standards: &[usize]) -> SeqPlan {
+    let (mut plan, margin) = pipe_with_margin(len, standards);
+    if margin > 0 {
+        let min = standards.iter().copied().min().expect("non-empty");
+        let tail = next_standard(margin, standards).unwrap_or(min);
+        plan.padded_rows += tail - margin;
+        plan.npu_chunks.push(tail);
+        plan.margin = 0;
+    }
+    let padded = padding_plan(len, standards);
+    if padded.padded_rows < plan.padded_rows {
+        padded
+    } else {
+        plan
+    }
+}
+
+/// Greedy decomposition with no padding: standard chunks plus an
+/// uncovered margin. Returns the plan and the margin.
+pub fn pipe_with_margin(len: usize, standards: &[usize]) -> (SeqPlan, usize) {
+    assert!(
+        !standards.is_empty(),
+        "standard size list must be non-empty"
+    );
+    let mut sizes: Vec<usize> = standards.to_vec();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut remaining = len;
+    let mut chunks = Vec::new();
+    for &s in &sizes {
+        while remaining >= s {
+            chunks.push(s);
+            remaining -= s;
+        }
+    }
+    (
+        SeqPlan {
+            npu_chunks: chunks,
+            margin: remaining,
+            padded_rows: 0,
+        },
+        remaining,
+    )
+}
+
+/// Enumerate the candidate NPU/GPU splits for a misaligned length that
+/// the partition solver chooses among (§5.2.2: "Hetero-tensor decides
+/// the partition strategy according to the computational power of NPU
+/// and GPU").
+///
+/// Candidates are every prefix of the greedy decomposition, optionally
+/// extended by one smaller standard chunk; the remainder is the margin
+/// handed to the GPU. The paper's 600-token example (512 + 32 on the
+/// NPU, 56 on the GPU) is generated this way.
+pub fn candidate_plans(len: usize, standards: &[usize]) -> Vec<SeqPlan> {
+    let (greedy, _) = pipe_with_margin(len, standards);
+    let mut out: Vec<SeqPlan> = Vec::new();
+    let mut push = |chunks: Vec<usize>| {
+        let covered: usize = chunks.iter().sum();
+        debug_assert!(covered <= len);
+        let plan = SeqPlan {
+            npu_chunks: chunks,
+            margin: len - covered,
+            padded_rows: 0,
+        };
+        if !out.contains(&plan) {
+            out.push(plan);
+        }
+    };
+    for take in 0..=greedy.npu_chunks.len() {
+        let prefix = greedy.npu_chunks[..take].to_vec();
+        let covered: usize = prefix.iter().sum();
+        push(prefix.clone());
+        // Extend by one smaller standard chunk that still fits.
+        for &s in standards {
+            if covered + s <= len
+                && (take == 0 || s <= greedy.npu_chunks[take - 1])
+                && (take == greedy.npu_chunks.len() || s < greedy.npu_chunks[take])
+            {
+                let mut chunks = prefix.clone();
+                chunks.push(s);
+                push(chunks);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STD: [usize; 6] = [32, 64, 128, 256, 512, 1024];
+
+    #[test]
+    fn padding_rounds_up() {
+        let p = padding_plan(300, &STD);
+        assert_eq!(p.npu_chunks, vec![512]);
+        assert_eq!(p.padded_rows, 212);
+        assert_eq!(p.margin, 0);
+        assert_eq!(p.useful_rows(), 300);
+    }
+
+    #[test]
+    fn padding_exact_size_wastes_nothing() {
+        let p = padding_plan(256, &STD);
+        assert_eq!(p.npu_chunks, vec![256]);
+        assert_eq!(p.padded_rows, 0);
+    }
+
+    #[test]
+    fn padding_beyond_max_chunks() {
+        let p = padding_plan(2500, &STD);
+        assert_eq!(p.npu_chunks, vec![1024, 1024, 512]);
+        assert_eq!(p.padded_rows, 512 - 452);
+    }
+
+    #[test]
+    fn pipe_decomposes_paper_example() {
+        // §4.1.1: 600 = 512 + 32 + 56; pipe pads the 56 margin to 64.
+        let p = pipe_plan(600, &STD);
+        assert_eq!(p.npu_chunks, vec![512, 64, 32]);
+        assert_eq!(p.npu_rows(), 608);
+        assert_eq!(p.padded_rows, 8);
+    }
+
+    #[test]
+    fn candidates_include_paper_300_example() {
+        // §4.1.1: 300 = 256 (NPU) + 44 (GPU margin).
+        let plans = candidate_plans(300, &STD);
+        assert!(plans
+            .iter()
+            .any(|p| p.npu_chunks == vec![256] && p.margin == 44));
+        // GPU-only (empty NPU prefix) is also a candidate.
+        assert!(plans
+            .iter()
+            .any(|p| p.npu_chunks.is_empty() && p.margin == 300));
+    }
+
+    #[test]
+    fn candidates_include_paper_600_example() {
+        // §4.1.1: 600 = 512 + 32 (NPU) + 56 (GPU).
+        let plans = candidate_plans(600, &STD);
+        assert!(plans
+            .iter()
+            .any(|p| p.npu_chunks == vec![512, 32] && p.margin == 56));
+        // And the greedy variant 512 + 64 + 24.
+        assert!(plans
+            .iter()
+            .any(|p| p.npu_chunks == vec![512, 64] && p.margin == 24));
+    }
+
+    #[test]
+    fn candidates_cover_lengths_exactly() {
+        for len in [1usize, 31, 32, 135, 300, 525, 600, 1000, 1500] {
+            for p in candidate_plans(len, &STD) {
+                assert_eq!(p.npu_rows() + p.margin, len, "len {len} plan {p:?}");
+                assert_eq!(p.padded_rows, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pipe_exact_has_no_margin() {
+        let (plan, margin) = pipe_with_margin(512, &STD);
+        assert_eq!(plan.npu_chunks, vec![512]);
+        assert_eq!(margin, 0);
+    }
+
+    #[test]
+    fn zero_length() {
+        let p = padding_plan(0, &STD);
+        assert!(p.npu_chunks.is_empty());
+        let q = pipe_plan(0, &STD);
+        assert!(q.npu_chunks.is_empty());
+        assert_eq!(q.margin, 0);
+    }
+
+    #[test]
+    fn pipe_covers_every_length() {
+        for len in 1..2100 {
+            let p = pipe_plan(len, &STD);
+            assert!(p.npu_rows() >= len, "len {len}");
+            assert_eq!(p.useful_rows(), len, "len {len}");
+            // Padding is bounded by the smallest standard size.
+            assert!(p.padded_rows < 32, "len {len} wastes {}", p.padded_rows);
+        }
+    }
+
+    #[test]
+    fn next_standard_behaviour() {
+        assert_eq!(next_standard(1, &STD), Some(32));
+        assert_eq!(next_standard(32, &STD), Some(32));
+        assert_eq!(next_standard(33, &STD), Some(64));
+        assert_eq!(next_standard(1025, &STD), None);
+    }
+}

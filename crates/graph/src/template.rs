@@ -1,0 +1,96 @@
+//! Graph templates: the per-model operator set a static NPU graph
+//! instantiates at a fixed sequence length.
+
+use hetero_tensor::shape::MatmulShape;
+use serde::{Deserialize, Serialize};
+
+/// One Matmul operator parameterized by sequence length: `[m, k] x [k, n]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpTemplate {
+    /// Stable operator name, e.g. `"qkv"`, `"ffn_down"`.
+    pub name: String,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output-feature dimension.
+    pub n: usize,
+}
+
+impl OpTemplate {
+    /// New template.
+    pub fn new(name: impl Into<String>, k: usize, n: usize) -> Self {
+        Self {
+            name: name.into(),
+            k,
+            n,
+        }
+    }
+
+    /// Instantiate at sequence length `m`.
+    pub fn at(&self, m: usize) -> MatmulShape {
+        MatmulShape::new(m, self.k, self.n)
+    }
+}
+
+/// The operator set one NPU graph covers (one decoder layer's Matmuls;
+/// all layers share shapes, so one graph per sequence length serves the
+/// whole model — the "typically 4 graphs" of §5.2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphSet {
+    /// Operator templates in execution order.
+    pub templates: Vec<OpTemplate>,
+}
+
+impl GraphSet {
+    /// New graph set.
+    pub fn new(templates: Vec<OpTemplate>) -> Self {
+        Self { templates }
+    }
+
+    /// The canonical Llama-8B decoder graph set (fused QKV, attention
+    /// output, fused gate/up, FFN down) used for calibration tests.
+    pub fn llama8b() -> Self {
+        Self::new(vec![
+            OpTemplate::new("qkv", 4096, 4096 + 2 * 1024),
+            OpTemplate::new("attn_out", 4096, 4096),
+            OpTemplate::new("gate_up", 4096, 2 * 14336),
+            OpTemplate::new("ffn_down", 14336, 4096),
+        ])
+    }
+
+    /// Instantiate all operators at sequence length `m`.
+    pub fn shapes_at(&self, m: usize) -> Vec<MatmulShape> {
+        self.templates.iter().map(|t| t.at(m)).collect()
+    }
+
+    /// Number of graphs (operators) in the set.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiation() {
+        let t = OpTemplate::new("qkv", 4096, 6144);
+        let s = t.at(135);
+        assert_eq!((s.m, s.k, s.n), (135, 4096, 6144));
+    }
+
+    #[test]
+    fn llama8b_set_has_four_graphs() {
+        let g = GraphSet::llama8b();
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+        let shapes = g.shapes_at(256);
+        assert!(shapes.iter().all(|s| s.m == 256));
+        assert_eq!(shapes[3].k, 14336);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the graph planners over arbitrary standard
+//! size sets — the engines only ever use powers of two, but the
+//! planners must be correct for any configuration a user might choose.
+
+use hetero_graph::plan::{candidate_plans, next_standard, padding_plan, pipe_plan};
+use hetero_graph::{CompileModel, GraphCache, GraphSet, OpTemplate};
+use hetero_tensor::shape::MatmulShape;
+use proptest::prelude::*;
+
+/// A sorted, deduplicated, non-empty set of standard sizes.
+fn arb_standards() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::btree_set(1usize..2048, 1..8)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn padding_plan_covers_and_bounds_waste(
+        len in 1usize..5000,
+        standards in arb_standards(),
+    ) {
+        let p = padding_plan(len, &standards);
+        prop_assert!(p.npu_rows() >= len);
+        prop_assert_eq!(p.useful_rows(), len);
+        // Waste bounded by the largest standard size.
+        let max = *standards.iter().max().unwrap();
+        prop_assert!(p.padded_rows < max, "waste {} with max {}", p.padded_rows, max);
+        // All chunks are standard sizes.
+        for c in &p.npu_chunks {
+            prop_assert!(standards.contains(c));
+        }
+    }
+
+    #[test]
+    fn pipe_plan_covers_with_minimal_tail_waste(
+        len in 1usize..5000,
+        standards in arb_standards(),
+    ) {
+        let p = pipe_plan(len, &standards);
+        prop_assert!(p.npu_rows() >= len);
+        prop_assert_eq!(p.useful_rows(), len);
+        // Pipe's padding is bounded by the *smallest* standard size.
+        let min = *standards.iter().min().unwrap();
+        prop_assert!(p.padded_rows < min.max(1), "waste {} with min {}", p.padded_rows, min);
+    }
+
+    #[test]
+    fn pipe_never_wastes_more_than_padding(
+        len in 1usize..5000,
+        standards in arb_standards(),
+    ) {
+        let pad = padding_plan(len, &standards);
+        let pipe = pipe_plan(len, &standards);
+        prop_assert!(pipe.padded_rows <= pad.padded_rows);
+    }
+
+    #[test]
+    fn candidates_are_exact_and_nonempty(
+        len in 1usize..3000,
+        standards in arb_standards(),
+    ) {
+        let plans = candidate_plans(len, &standards);
+        prop_assert!(!plans.is_empty());
+        for p in &plans {
+            prop_assert_eq!(p.npu_rows() + p.margin, len);
+            prop_assert_eq!(p.padded_rows, 0);
+            for c in &p.npu_chunks {
+                prop_assert!(standards.contains(c));
+            }
+        }
+        // The all-GPU candidate is always present.
+        prop_assert!(plans.iter().any(|p| p.npu_chunks.is_empty()));
+    }
+
+    #[test]
+    fn next_standard_is_tight(len in 1usize..5000, standards in arb_standards()) {
+        match next_standard(len, &standards) {
+            Some(s) => {
+                prop_assert!(s >= len);
+                prop_assert!(standards.contains(&s));
+                // No smaller standard also covers len.
+                for &other in &standards {
+                    if other >= len {
+                        prop_assert!(other >= s);
+                    }
+                }
+            }
+            None => prop_assert!(standards.iter().all(|&s| s < len)),
+        }
+    }
+
+    #[test]
+    fn compile_cost_is_superadditive_in_chunks(
+        k in 64usize..8192,
+        n in 64usize..8192,
+        m in 64usize..1024,
+    ) {
+        // Splitting a graph into two halves must not cost more than ~2x
+        // the full graph (sub-linear exponent), and each half costs
+        // less than the whole.
+        let model = CompileModel::default();
+        let whole = model.op_compile_time(MatmulShape::new(m, k, n)).as_secs_f64();
+        let half = model.op_compile_time(MatmulShape::new(m / 2, k, n)).as_secs_f64();
+        prop_assert!(half < whole);
+        prop_assert!(2.0 * half < 2.0 * whole);
+    }
+
+    #[test]
+    fn cache_total_equals_sum_of_charges(sizes in proptest::collection::vec(1usize..2048, 1..12)) {
+        let mut cache = GraphCache::new(
+            GraphSet::new(vec![OpTemplate::new("op", 1024, 1024)]),
+            CompileModel::default(),
+        );
+        let mut sum = hetero_soc::SimTime::ZERO;
+        for &s in &sizes {
+            sum += cache.ensure(s);
+        }
+        prop_assert_eq!(cache.total_compile_time(), sum);
+        // Every distinct size is now cached and free.
+        for &s in &sizes {
+            prop_assert_eq!(cache.ensure(s), hetero_soc::SimTime::ZERO);
+        }
+    }
+}

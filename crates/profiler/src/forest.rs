@@ -1,0 +1,153 @@
+//! Bagged ensemble of regression trees.
+//!
+//! A small random forest over the CART trees of [`crate::tree`]:
+//! each tree fits a bootstrap resample of the profile, predictions
+//! average across trees. Smooths the step artifacts of a single tree
+//! when the profile grid is sparse or noisy (real hardware profiles
+//! fluctuate run to run — §4.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::tree::{DecisionTree, TreeParams};
+use hetero_tensor::rng::splitmix64;
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+    /// Bootstrap seed.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 16,
+            tree: TreeParams::default(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A fitted bagged-tree regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fit on `(features, target)` rows with bootstrap bagging.
+    ///
+    /// Returns `None` on empty or inconsistent input.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: ForestParams) -> Option<Self> {
+        if x.is_empty() || x.len() != y.len() || params.n_trees == 0 {
+            return None;
+        }
+        let n = x.len();
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for t in 0..params.n_trees {
+            // Deterministic bootstrap resample.
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for i in 0..n {
+                let h = splitmix64(params.seed ^ ((t as u64) << 32) ^ i as u64);
+                let pick = (h % n as u64) as usize;
+                bx.push(x[pick].clone());
+                by.push(y[pick]);
+            }
+            trees.push(DecisionTree::fit(&bx, &by, params.tree)?);
+        }
+        Some(Self { trees })
+    }
+
+    /// Mean prediction across the ensemble.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(features)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is empty (never true for a fitted forest).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_quadratic(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = x² + deterministic pseudo-noise.
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let v = (i as f64 / 10.0).powi(2);
+                let noise = ((splitmix64(i as u64) % 1000) as f64 / 1000.0 - 0.5) * 2.0;
+                v + noise
+            })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_and_predicts() {
+        let (x, y) = noisy_quadratic(120);
+        let f = RandomForest::fit(&x, &y, ForestParams::default()).unwrap();
+        assert_eq!(f.len(), 16);
+        assert!(!f.is_empty());
+        for probe in [2.0f64, 5.0, 9.0] {
+            let pred = f.predict(&[probe]);
+            let truth = probe * probe;
+            assert!(
+                (pred - truth).abs() < truth.max(2.0) * 0.35,
+                "x={probe} pred={pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn forest_no_worse_than_single_tree_on_noise() {
+        let (x, y) = noisy_quadratic(120);
+        let tree = DecisionTree::fit(&x, &y, TreeParams::default()).unwrap();
+        let forest = RandomForest::fit(&x, &y, ForestParams::default()).unwrap();
+        // Out-of-grid probes: compare squared error against the clean target.
+        let mut tree_err = 0.0;
+        let mut forest_err = 0.0;
+        for i in 0..40 {
+            let probe = 0.25 + i as f64 * 0.27;
+            let truth = probe * probe;
+            tree_err += (tree.predict(&[probe]) - truth).powi(2);
+            forest_err += (forest.predict(&[probe]) - truth).powi(2);
+        }
+        assert!(
+            forest_err <= tree_err * 1.2,
+            "forest {forest_err} should not be much worse than tree {tree_err}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = noisy_quadratic(60);
+        let a = RandomForest::fit(&x, &y, ForestParams::default()).unwrap();
+        let b = RandomForest::fit(&x, &y, ForestParams::default()).unwrap();
+        assert_eq!(a.predict(&[3.3]), b.predict(&[3.3]));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(RandomForest::fit(&[], &[], ForestParams::default()).is_none());
+        let (x, y) = noisy_quadratic(10);
+        let zero_trees = ForestParams {
+            n_trees: 0,
+            ..ForestParams::default()
+        };
+        assert!(RandomForest::fit(&x, &y, zero_trees).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Real-execution profiling: run the candidate shape grid on the
+//! (simulated) hardware and collect timings.
+
+use hetero_soc::calib::{ROW_PARTITION_ALIGN, SEQ_PARTITION_ALIGN};
+use hetero_soc::{Backend, KernelDesc, Soc};
+use hetero_tensor::shape::MatmulShape;
+use hetero_tensor::DType;
+
+use crate::db::{BwCondition, ProfileDb, ProfileKey};
+
+/// The candidate partition grid for one full matmul problem, pruned by
+/// the NPU's stage-performance alignment (§4.3: row partitions aligned
+/// to 256, sequence-length partitions to 32).
+pub fn candidate_row_cuts(n_total: usize) -> Vec<usize> {
+    (1..)
+        .map(|i| i * ROW_PARTITION_ALIGN)
+        .take_while(|&c| c < n_total)
+        .collect()
+}
+
+/// Aligned sequence-length cut points for a problem of `m_total` rows.
+pub fn candidate_seq_cuts(m_total: usize) -> Vec<usize> {
+    (1..)
+        .map(|i| i * SEQ_PARTITION_ALIGN)
+        .take_while(|&c| c < m_total)
+        .collect()
+}
+
+/// Profile a list of matmul shapes on the given backends, under both
+/// bandwidth conditions, recording into a fresh [`ProfileDb`].
+///
+/// This is the offline real-execution mode: the returned database is
+/// exact with respect to the hardware model.
+pub fn profile_matmuls(
+    soc: &Soc,
+    shapes: &[MatmulShape],
+    backends: &[Backend],
+    act_dtype: DType,
+    weight_dtype: DType,
+) -> ProfileDb {
+    let mut db = ProfileDb::new();
+    for &shape in shapes {
+        let kernel = KernelDesc::matmul(shape, act_dtype, weight_dtype, DType::F16);
+        for &backend in backends {
+            let solo = soc.solo_kernel_time(backend, &kernel);
+            db.record(
+                ProfileKey::new(
+                    backend,
+                    shape,
+                    act_dtype.bits(),
+                    weight_dtype.bits(),
+                    BwCondition::Solo,
+                ),
+                solo,
+            );
+            let contended =
+                soc.contended_kernel_time(backend, &kernel, &[Backend::Gpu, Backend::Npu]);
+            db.record(
+                ProfileKey::new(
+                    backend,
+                    shape,
+                    act_dtype.bits(),
+                    weight_dtype.bits(),
+                    BwCondition::Contended,
+                ),
+                contended,
+            );
+        }
+    }
+    db
+}
+
+/// Build the shape grid for one weight matrix `[k, n]`: full problem at
+/// each sequence length plus every aligned row/sequence sub-partition.
+pub fn partition_shape_grid(seq_lens: &[usize], k: usize, n: usize) -> Vec<MatmulShape> {
+    let mut shapes = Vec::new();
+    for &m in seq_lens {
+        shapes.push(MatmulShape::new(m, k, n));
+        for cut in candidate_row_cuts(n) {
+            shapes.push(MatmulShape::new(m, k, cut));
+            shapes.push(MatmulShape::new(m, k, n - cut));
+        }
+        for cut in candidate_seq_cuts(m) {
+            shapes.push(MatmulShape::new(cut, k, n));
+            shapes.push(MatmulShape::new(m - cut, k, n));
+        }
+    }
+    shapes.sort_unstable_by_key(|s| (s.m, s.k, s.n));
+    shapes.dedup();
+    shapes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_soc::SocConfig;
+
+    #[test]
+    fn alignment_prunes_search_space() {
+        assert_eq!(candidate_row_cuts(1024), vec![256, 512, 768]);
+        assert_eq!(candidate_seq_cuts(128), vec![32, 64, 96]);
+        assert!(candidate_row_cuts(256).is_empty());
+        assert!(candidate_seq_cuts(32).is_empty());
+    }
+
+    #[test]
+    fn grid_contains_full_and_partitions() {
+        let grid = partition_shape_grid(&[64], 4096, 512);
+        assert!(grid.contains(&MatmulShape::new(64, 4096, 512)));
+        assert!(grid.contains(&MatmulShape::new(64, 4096, 256)));
+        assert!(grid.contains(&MatmulShape::new(32, 4096, 512)));
+        // Deduplicated and sorted.
+        let mut sorted = grid.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), grid.len());
+    }
+
+    #[test]
+    fn profiling_records_both_conditions() {
+        let soc = Soc::new(SocConfig::snapdragon_8gen3());
+        let shapes = [MatmulShape::new(256, 4096, 4096)];
+        let db = profile_matmuls(
+            &soc,
+            &shapes,
+            &[Backend::Gpu, Backend::Npu],
+            DType::F16,
+            DType::Int4,
+        );
+        // 1 shape × 2 backends × 2 conditions.
+        assert_eq!(db.len(), 4);
+        let solo = db
+            .lookup(&ProfileKey::new(
+                Backend::Npu,
+                shapes[0],
+                16,
+                4,
+                BwCondition::Solo,
+            ))
+            .unwrap();
+        let cont = db
+            .lookup(&ProfileKey::new(
+                Backend::Npu,
+                shapes[0],
+                16,
+                4,
+                BwCondition::Contended,
+            ))
+            .unwrap();
+        assert!(cont >= solo);
+    }
+}

@@ -1,0 +1,285 @@
+//! CART regression tree, implemented from scratch.
+//!
+//! The paper's prediction-mode profiler uses "traditional machine
+//! learning techniques, such as decision tree regression" to predict
+//! NPU latency across tensor shapes (§4.3). This is a standard
+//! variance-reduction CART: at each node, pick the (feature, threshold)
+//! split minimizing the weighted variance of the two children.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child (`<= threshold`).
+        left: usize,
+        /// Index of the right child (`> threshold`).
+        right: usize,
+    },
+}
+
+/// Tree hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_split: 4,
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Fit a tree on `(features, target)` rows.
+    ///
+    /// Returns `None` if the training set is empty or rows have
+    /// inconsistent widths.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: TreeParams) -> Option<Self> {
+        if x.is_empty() || x.len() != y.len() {
+            return None;
+        }
+        let n_features = x[0].len();
+        if n_features == 0 || x.iter().any(|r| r.len() != n_features) {
+            return None;
+        }
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features,
+        };
+        tree.build(x, y, &idx, 0, params);
+        Some(tree)
+    }
+
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        depth: usize,
+        params: TreeParams,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        if depth >= params.max_depth || idx.len() < params.min_samples_split {
+            return self.push(Node::Leaf { value: mean });
+        }
+        match best_split(x, y, idx, self.n_features) {
+            None => self.push(Node::Leaf { value: mean }),
+            Some((feature, threshold)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x[i][feature] <= threshold);
+                if li.is_empty() || ri.is_empty() {
+                    return self.push(Node::Leaf { value: mean });
+                }
+                // Reserve the slot before recursing so child indices are
+                // stable.
+                let slot = self.push(Node::Leaf { value: mean });
+                let left = self.build(x, y, &li, depth + 1, params);
+                let right = self.build(x, y, &ri, depth + 1, params);
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Predict the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training width.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature width mismatch");
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for size diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Best (feature, threshold) by variance reduction, or `None` if no
+/// split improves on the parent.
+fn best_split(x: &[Vec<f64>], y: &[f64], idx: &[usize], n_features: usize) -> Option<(usize, f64)> {
+    let parent_sse = sse(y, idx);
+    let mut best: Option<(usize, f64, f64)> = None;
+    #[allow(clippy::needless_range_loop)] // `f` indexes rows of `x`, not one slice.
+    for f in 0..n_features {
+        // Candidate thresholds: midpoints between consecutive distinct
+        // sorted feature values.
+        let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        vals.dedup();
+        for w in vals.windows(2) {
+            let thr = (w[0] + w[1]) / 2.0;
+            let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][f] <= thr);
+            if li.is_empty() || ri.is_empty() {
+                continue;
+            }
+            let child_sse = sse(y, &li) + sse(y, &ri);
+            if child_sse < parent_sse - 1e-12 {
+                match best {
+                    Some((_, _, b)) if child_sse >= b => {}
+                    _ => best = Some((f, thr, child_sse)),
+                }
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+fn sse(y: &[f64], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+    idx.iter().map(|&i| (y[i] - mean).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        // y = 1 for x < 5, y = 9 for x >= 5 — one split suffices.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 1.0 } else { 9.0 }).collect();
+        let t = DecisionTree::fit(&x, &y, TreeParams::default()).unwrap();
+        assert_eq!(t.predict(&[2.0]), 1.0);
+        assert_eq!(t.predict(&[7.0]), 9.0);
+        // The split threshold is the 4/5 midpoint (4.5).
+        assert_eq!(t.predict(&[4.4]), 1.0);
+        assert_eq!(t.predict(&[4.6]), 9.0);
+    }
+
+    #[test]
+    fn fits_multifeature_interaction() {
+        // y = 10 iff x0 > 0.5 and x1 > 0.5.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                let (fa, fb) = (a as f64 / 8.0, b as f64 / 8.0);
+                x.push(vec![fa, fb]);
+                y.push(if fa > 0.5 && fb > 0.5 { 10.0 } else { 0.0 });
+            }
+        }
+        let t = DecisionTree::fit(&x, &y, TreeParams::default()).unwrap();
+        assert!(t.predict(&[0.9, 0.9]) > 9.0);
+        assert!(t.predict(&[0.9, 0.1]) < 1.0);
+        assert!(t.predict(&[0.1, 0.9]) < 1.0);
+    }
+
+    #[test]
+    fn approximates_smooth_function() {
+        // y = x² on [0, 10]; deep tree should track within ~10%.
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 10,
+                min_samples_split: 2,
+            },
+        )
+        .unwrap();
+        for probe in [1.0f64, 3.3, 7.7, 9.5] {
+            let pred = t.predict(&[probe]);
+            let truth = probe * probe;
+            assert!(
+                (pred - truth).abs() <= truth.max(1.0) * 0.15,
+                "x={probe} pred={pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.5; 10];
+        let t = DecisionTree::fit(&x, &y, TreeParams::default()).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[100.0]), 3.5);
+    }
+
+    #[test]
+    fn depth_limit_bounds_size() {
+        let x: Vec<Vec<f64>> = (0..128).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..128).map(|i| i as f64).collect();
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 3,
+                min_samples_split: 2,
+            },
+        )
+        .unwrap();
+        assert!(t.node_count() <= 15); // complete depth-3 binary tree.
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(DecisionTree::fit(&[], &[], TreeParams::default()).is_none());
+        let x = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(DecisionTree::fit(&x, &[1.0, 2.0], TreeParams::default()).is_none());
+        let x = vec![vec![1.0]];
+        assert!(DecisionTree::fit(&x, &[1.0, 2.0], TreeParams::default()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn predict_checks_width() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let t = DecisionTree::fit(&x, &[1.0, 2.0], TreeParams::default()).unwrap();
+        t.predict(&[1.0, 2.0]);
+    }
+}

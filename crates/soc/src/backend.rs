@@ -1,0 +1,49 @@
+//! Processing backends of the mobile SoC.
+
+use serde::{Deserialize, Serialize};
+
+/// A heterogeneous processing unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// Arm big.LITTLE CPU clusters. In HeteroLLM the CPU is a control
+    /// plane, not a compute backend, but baseline engines (llama.cpp)
+    /// run their GEMMs here.
+    Cpu,
+    /// The mobile GPU (Adreno-class, OpenCL-programmed).
+    Gpu,
+    /// The neural processing unit (Hexagon-class, static graphs).
+    Npu,
+}
+
+impl Backend {
+    /// All backends, in control-plane order.
+    pub const ALL: [Backend; 3] = [Backend::Cpu, Backend::Gpu, Backend::Npu];
+
+    /// Short display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Backend::Cpu => "cpu",
+            Backend::Gpu => "gpu",
+            Backend::Npu => "npu",
+        }
+    }
+}
+
+impl core::fmt::Display for Backend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Backend::Cpu.to_string(), "cpu");
+        assert_eq!(Backend::Gpu.to_string(), "gpu");
+        assert_eq!(Backend::Npu.to_string(), "npu");
+        assert_eq!(Backend::ALL.len(), 3);
+    }
+}

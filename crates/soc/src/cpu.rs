@@ -1,0 +1,102 @@
+//! Arm CPU model: compute tier for the llama.cpp baseline and timing of
+//! the control-plane primitives HeteroLLM runs on CPU cores.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib;
+use crate::kernel::{KernelDesc, OpKind};
+use crate::time::SimTime;
+
+/// CPU cluster compute/timing model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Achieved GEMM throughput across the big cores, TFLOPS.
+    pub achieved_tflops: f64,
+    /// `usleep` wake-up granularity, µs (§4.2: 80–100 µs).
+    pub usleep_granularity_us: f64,
+    /// Cost of the shared-memory flag polling loop, µs.
+    pub poll_cost_us: f64,
+    /// Per-kernel dispatch overhead (function call + thread pool), µs.
+    pub dispatch_overhead_us: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self {
+            achieved_tflops: calib::CPU_ACHIEVED_TFLOPS,
+            usleep_granularity_us: calib::USLEEP_GRANULARITY_US,
+            poll_cost_us: calib::FASTSYNC_POLL_US,
+            dispatch_overhead_us: 2.0,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Execution time of `kernel` given granted bandwidth.
+    pub fn kernel_time(&self, kernel: &KernelDesc, bw_gbps: f64) -> SimTime {
+        let dispatch = SimTime::from_secs_f64(self.dispatch_overhead_us * 1e-6);
+        match &kernel.op {
+            OpKind::HostCopy { bytes } => dispatch + Self::stream(*bytes, bw_gbps),
+            _ => {
+                let compute =
+                    SimTime::from_secs_f64(kernel.flops() as f64 / (self.achieved_tflops * 1e12));
+                dispatch + compute.max(Self::stream(kernel.bytes(), bw_gbps))
+            }
+        }
+    }
+
+    fn stream(bytes: u64, bw_gbps: f64) -> SimTime {
+        if bw_gbps <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_secs_f64(bytes as f64 / (bw_gbps * 1e9))
+    }
+
+    /// Latency of waking a sleeping sync thread: the actual remaining
+    /// wait rounded up to the `usleep` granularity (§4.2 — why naive
+    /// sleeping cannot synchronize sub-100 µs kernels).
+    pub fn usleep_wait(&self, requested: SimTime) -> SimTime {
+        let gran = SimTime::from_secs_f64(self.usleep_granularity_us * 1e-6);
+        if requested == SimTime::ZERO {
+            return SimTime::ZERO;
+        }
+        let slots = requested.as_nanos().div_ceil(gran.as_nanos().max(1));
+        SimTime::from_nanos(slots * gran.as_nanos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_tensor::shape::MatmulShape;
+
+    #[test]
+    fn cpu_is_slow_at_gemm() {
+        let cpu = CpuModel::default();
+        let k = KernelDesc::matmul_f16(MatmulShape::new(1024, 1024, 1024));
+        let t = cpu.kernel_time(&k, 42.0);
+        // 2.1 GFLOPs at 0.12 TFLOPS ≈ 18 ms.
+        assert!(t.as_millis_f64() > 10.0 && t.as_millis_f64() < 30.0);
+    }
+
+    #[test]
+    fn memory_bound_on_decode() {
+        let cpu = CpuModel::default();
+        let k = KernelDesc::matmul_w4a16(MatmulShape::new(1, 4096, 4096));
+        let t = cpu.kernel_time(&k, 23.0);
+        let stream_s = k.bytes() as f64 / 23e9;
+        assert!((t.as_secs_f64() - stream_s - 2e-6).abs() / stream_s < 0.2);
+    }
+
+    #[test]
+    fn usleep_rounds_up_to_granularity() {
+        let cpu = CpuModel::default();
+        assert_eq!(cpu.usleep_wait(SimTime::ZERO), SimTime::ZERO);
+        let w = cpu.usleep_wait(SimTime::from_micros(10));
+        assert_eq!(w, SimTime::from_micros(90));
+        let w2 = cpu.usleep_wait(SimTime::from_micros(91));
+        assert_eq!(w2, SimTime::from_micros(180));
+        let exact = cpu.usleep_wait(SimTime::from_micros(90));
+        assert_eq!(exact, SimTime::from_micros(90));
+    }
+}

@@ -1,0 +1,220 @@
+//! A small discrete-event simulation core.
+//!
+//! The timing engines schedule work analytically (kernel costs are
+//! closed-form), but resource-sharing questions — a render workload
+//! and an LLM contending for one FIFO GPU queue, requests queueing at
+//! a busy engine — need genuine event-driven simulation. This module
+//! provides the shared machinery: a monotone event queue with stable
+//! FIFO ordering for simultaneous events, and a single-server resource
+//! abstraction.
+
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event: fires at `at`; ties break by insertion order (FIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on (time, sequence).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A monotone event queue.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_soc::des::EventQueue;
+/// use hetero_soc::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(20), "late");
+/// q.schedule(SimTime::from_micros(10), "early");
+/// q.schedule(SimTime::from_micros(10), "early-second");
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// New queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time (causality violation).
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            payload,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Schedule `payload` `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: E) {
+        let at = self.now + delay;
+        self.schedule(at, payload);
+    }
+
+    /// Pop the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A single-server FIFO resource (a GPU queue, an inference engine).
+///
+/// Tracks when the server frees up; `serve` returns the (start, end)
+/// interval a job beginning no earlier than `ready` would occupy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoServer {
+    free_at: SimTime,
+}
+
+impl FifoServer {
+    /// New, idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// When the server next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Occupy the server for `duration` starting no earlier than
+    /// `ready`; returns the service interval.
+    pub fn serve(&mut self, ready: SimTime, duration: SimTime) -> (SimTime, SimTime) {
+        let start = self.free_at.max(ready);
+        let end = start + duration;
+        self.free_at = end;
+        (start, end)
+    }
+
+    /// Whether the server is idle at `t`.
+    pub fn idle_at(&self, t: SimTime) -> bool {
+        t >= self.free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_micros(x)
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(us(30), 3u32);
+        q.schedule(us(10), 1);
+        q.schedule(us(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.schedule(us(5), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(us(10), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), us(10));
+        q.schedule_after(us(5), ());
+        assert_eq!(q.pop(), Some((us(15), ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn causality_enforced() {
+        let mut q = EventQueue::new();
+        q.schedule(us(10), ());
+        q.pop();
+        q.schedule(us(5), ());
+    }
+
+    #[test]
+    fn fifo_server_queues_work() {
+        let mut s = FifoServer::new();
+        let (a0, a1) = s.serve(us(0), us(10));
+        assert_eq!((a0, a1), (us(0), us(10)));
+        // Arrives while busy: waits.
+        let (b0, b1) = s.serve(us(4), us(5));
+        assert_eq!((b0, b1), (us(10), us(15)));
+        // Arrives after idle gap: starts at arrival.
+        let (c0, _) = s.serve(us(100), us(1));
+        assert_eq!(c0, us(100));
+        assert!(s.idle_at(us(101)));
+        assert!(!s.idle_at(us(100)));
+    }
+}

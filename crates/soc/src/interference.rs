@@ -1,0 +1,216 @@
+//! GPU submission-queue interference simulation (Fig. 18).
+//!
+//! Models the co-execution of an LLM engine's GPU kernels with a
+//! latency-sensitive render workload (the paper uses *League of
+//! Legends: Wild Rift* at 60 FPS). Both share one FIFO submission
+//! queue: if the LLM floods the queue (PPL-OpenCL style), frames miss
+//! their vsync deadlines and FPS collapses; if the LLM only uses short
+//! GPU bursts gated by NPU synchronization (HeteroLLM), frames slot
+//! into the gaps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::des::FifoServer;
+use crate::time::SimTime;
+
+/// A periodic frame-rendering workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RenderWorkload {
+    /// Frame period (16.67 ms at 60 FPS).
+    pub frame_interval: SimTime,
+    /// GPU time needed per frame.
+    pub frame_gpu_time: SimTime,
+}
+
+impl RenderWorkload {
+    /// A mobile game at 60 FPS on default settings (≈quarter of the GPU).
+    pub fn game_60fps() -> Self {
+        Self {
+            frame_interval: SimTime::from_micros(16_667),
+            frame_gpu_time: SimTime::from_micros(4_000),
+        }
+    }
+}
+
+/// One LLM GPU burst: `gap_before` of GPU-idle dependency time (NPU or
+/// sync work) followed by `gpu_time` of queued GPU kernels.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LlmBurst {
+    /// Time after the previous burst's completion before this burst's
+    /// kernels are submitted (0 = queue flooded continuously).
+    pub gap_before: SimTime,
+    /// GPU execution time of the burst.
+    pub gpu_time: SimTime,
+}
+
+/// Result of an interference simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InterferenceReport {
+    /// Completion time of the LLM workload.
+    pub llm_finish: SimTime,
+    /// LLM completion time had it run alone.
+    pub llm_solo: SimTime,
+    /// Frames that met their deadline per second of simulation.
+    pub fps: f64,
+    /// Total frames whose deadline passed during the simulation.
+    pub frames_due: u64,
+    /// Frames completed by their deadline.
+    pub frames_on_time: u64,
+}
+
+impl InterferenceReport {
+    /// LLM slowdown factor versus running alone.
+    pub fn llm_slowdown(&self) -> f64 {
+        if self.llm_solo == SimTime::ZERO {
+            return 1.0;
+        }
+        self.llm_finish.as_secs_f64() / self.llm_solo.as_secs_f64()
+    }
+}
+
+/// Simulate FIFO sharing of the GPU between `bursts` and `render`.
+///
+/// The simulation runs until the LLM finishes, then continues one extra
+/// second of render-only time so trailing frames are scored fairly.
+pub fn simulate(bursts: &[LlmBurst], render: &RenderWorkload) -> InterferenceReport {
+    let llm_solo: SimTime = bursts.iter().map(|b| b.gap_before + b.gpu_time).sum();
+
+    let mut gpu = FifoServer::new();
+    let mut llm_finish = SimTime::ZERO;
+    let mut frames_on_time = 0u64;
+
+    let mut next_frame_arrival = SimTime::ZERO;
+    let mut burst_iter = bursts.iter();
+    let mut next_burst = burst_iter.next();
+    // Submission time of the next LLM burst. GPU submission is
+    // asynchronous: a zero-gap burst is enqueued immediately after its
+    // predecessor's *submission* (queue flooding), while a gapped burst
+    // waits for its data dependency (previous completion + gap).
+    let mut llm_ready = next_burst.map(|b| b.gap_before).unwrap_or(SimTime::ZERO);
+
+    loop {
+        // Pick whichever item is submitted first (FIFO by enqueue
+        // time; ties go to the already-queued LLM kernel).
+        let llm_pending = next_burst.is_some();
+        let frame_first = !llm_pending || next_frame_arrival < llm_ready;
+
+        if llm_pending || next_frame_arrival <= llm_finish {
+            if frame_first {
+                let (_, finish) = gpu.serve(next_frame_arrival, render.frame_gpu_time);
+                if finish <= next_frame_arrival + render.frame_interval {
+                    frames_on_time += 1;
+                }
+                next_frame_arrival += render.frame_interval;
+            } else if let Some(b) = next_burst {
+                let (_, finish) = gpu.serve(llm_ready, b.gpu_time);
+                llm_finish = finish;
+                next_burst = burst_iter.next();
+                if let Some(nb) = next_burst {
+                    llm_ready = if nb.gap_before == SimTime::ZERO {
+                        llm_ready // flooded: enqueued back-to-back
+                    } else {
+                        finish + nb.gap_before
+                    };
+                }
+            }
+        } else {
+            break;
+        }
+
+        // Stop once the LLM is done and we've scored a trailing second.
+        if next_burst.is_none() && next_frame_arrival > llm_finish + SimTime::from_millis(1000) {
+            break;
+        }
+    }
+
+    let horizon = next_frame_arrival;
+    let frames_due = (horizon.as_nanos() / render.frame_interval.as_nanos().max(1)).max(1);
+    let fps = frames_on_time as f64 / horizon.as_secs_f64().max(1e-9);
+
+    InterferenceReport {
+        llm_finish,
+        llm_solo,
+        fps,
+        frames_due,
+        frames_on_time: frames_on_time.min(frames_due),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn flooded_queue_starves_frames() {
+        // PPL-OpenCL style: 2 s of back-to-back GPU kernels.
+        let bursts: Vec<LlmBurst> = (0..200)
+            .map(|_| LlmBurst {
+                gap_before: SimTime::ZERO,
+                gpu_time: ms(10),
+            })
+            .collect();
+        let r = simulate(&bursts, &RenderWorkload::game_60fps());
+        assert!(r.fps < 15.0, "fps {} should collapse", r.fps);
+    }
+
+    #[test]
+    fn gated_bursts_preserve_fps() {
+        // HeteroLLM style: 1 ms GPU bursts gated by 20 ms NPU phases.
+        let bursts: Vec<LlmBurst> = (0..100)
+            .map(|_| LlmBurst {
+                gap_before: ms(20),
+                gpu_time: ms(1),
+            })
+            .collect();
+        let r = simulate(&bursts, &RenderWorkload::game_60fps());
+        assert!(r.fps > 55.0, "fps {} should stay near 60", r.fps);
+        // And the LLM is only mildly slowed.
+        assert!(r.llm_slowdown() < 1.5, "slowdown {}", r.llm_slowdown());
+    }
+
+    #[test]
+    fn no_render_time_means_no_llm_delay() {
+        let bursts = vec![
+            LlmBurst {
+                gap_before: ms(1),
+                gpu_time: ms(5)
+            };
+            10
+        ];
+        let zero_render = RenderWorkload {
+            frame_interval: SimTime::from_micros(16_667),
+            frame_gpu_time: SimTime::ZERO,
+        };
+        let r = simulate(&bursts, &zero_render);
+        assert_eq!(r.llm_finish, r.llm_solo);
+        assert!(r.llm_slowdown() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_llm_runs_render_only() {
+        let r = simulate(&[], &RenderWorkload::game_60fps());
+        assert!(r.fps > 55.0);
+        assert_eq!(r.llm_finish, SimTime::ZERO);
+    }
+
+    #[test]
+    fn solo_time_accounts_gaps_and_bursts() {
+        let bursts = vec![
+            LlmBurst {
+                gap_before: ms(2),
+                gpu_time: ms(3),
+            },
+            LlmBurst {
+                gap_before: ms(1),
+                gpu_time: ms(4),
+            },
+        ];
+        let r = simulate(&bursts, &RenderWorkload::game_60fps());
+        assert_eq!(r.llm_solo, ms(10));
+        assert!(r.llm_finish >= r.llm_solo);
+    }
+}

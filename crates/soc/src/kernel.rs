@@ -1,0 +1,227 @@
+//! Kernel descriptors — the unit of work the simulator prices.
+
+use hetero_tensor::shape::MatmulShape;
+use hetero_tensor::DType;
+use serde::{Deserialize, Serialize};
+
+/// What a kernel computes, with enough shape information to price it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Dense matrix multiplication `[m,k] x [k,n]`.
+    Matmul {
+        /// Problem shape.
+        shape: MatmulShape,
+        /// Activation storage type (traffic width of the `[m,k]` side).
+        act: DType,
+        /// Weight storage type (traffic width of the `[k,n]` side).
+        weight: DType,
+        /// Output storage type.
+        out: DType,
+    },
+    /// A memory-bound elementwise/normalization kernel described by its
+    /// traffic and (small) FLOP count: RMSNorm, SwiGLU, RoPE, softmax,
+    /// residual adds, dequantization.
+    MemBound {
+        /// Bytes read from memory.
+        read_bytes: u64,
+        /// Bytes written to memory.
+        write_bytes: u64,
+        /// Arithmetic work (vector lanes), for completeness.
+        flops: u64,
+        /// Kernel label for traces and profiles.
+        label: KernelLabel,
+    },
+    /// Host-visible buffer copy (driver `clEnqueueWriteBuffer`-style).
+    HostCopy {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+}
+
+/// Labels for memory-bound kernels, used in traces and per-op profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelLabel {
+    /// RMS normalization.
+    RmsNorm,
+    /// SwiGLU gate.
+    Swiglu,
+    /// Rotary embedding.
+    Rope,
+    /// Row softmax.
+    Softmax,
+    /// Residual addition.
+    ResidualAdd,
+    /// Attention score/value batched matmul (scored per-head).
+    Attention,
+    /// Embedding gather.
+    Embed,
+    /// Weight dequantization block.
+    Dequant,
+    /// KV-cache append.
+    KvAppend,
+    /// Partition merge (concat of partial results).
+    Merge,
+    /// Render (game) workload bundle.
+    Render,
+    /// Anything else.
+    Other,
+}
+
+impl KernelLabel {
+    /// Short lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::RmsNorm => "rmsnorm",
+            Self::Swiglu => "swiglu",
+            Self::Rope => "rope",
+            Self::Softmax => "softmax",
+            Self::ResidualAdd => "residual",
+            Self::Attention => "attention",
+            Self::Embed => "embed",
+            Self::Dequant => "dequant",
+            Self::KvAppend => "kv_append",
+            Self::Merge => "merge",
+            Self::Render => "render",
+            Self::Other => "other",
+        }
+    }
+}
+
+/// A schedulable unit of work.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// The operation.
+    pub op: OpKind,
+}
+
+impl KernelDesc {
+    /// Matmul kernel with the given storage types.
+    pub fn matmul(shape: MatmulShape, act: DType, weight: DType, out: DType) -> Self {
+        Self {
+            op: OpKind::Matmul {
+                shape,
+                act,
+                weight,
+                out,
+            },
+        }
+    }
+
+    /// Matmul in the system's default W4A16 configuration: FP16
+    /// activations, INT4 weights, FP16 output.
+    pub fn matmul_w4a16(shape: MatmulShape) -> Self {
+        Self::matmul(shape, DType::F16, DType::Int4, DType::F16)
+    }
+
+    /// Matmul with FP16 weights (KV-cache attention matmuls, or engines
+    /// that dequantize weights ahead of time).
+    pub fn matmul_f16(shape: MatmulShape) -> Self {
+        Self::matmul(shape, DType::F16, DType::F16, DType::F16)
+    }
+
+    /// Memory-bound kernel.
+    pub fn mem_bound(label: KernelLabel, read_bytes: u64, write_bytes: u64, flops: u64) -> Self {
+        Self {
+            op: OpKind::MemBound {
+                read_bytes,
+                write_bytes,
+                flops,
+                label,
+            },
+        }
+    }
+
+    /// Host copy of `bytes`.
+    pub fn host_copy(bytes: u64) -> Self {
+        Self {
+            op: OpKind::HostCopy { bytes },
+        }
+    }
+
+    /// Floating-point operations of this kernel.
+    pub fn flops(&self) -> u64 {
+        match &self.op {
+            OpKind::Matmul { shape, .. } => shape.flops(),
+            OpKind::MemBound { flops, .. } => *flops,
+            OpKind::HostCopy { .. } => 0,
+        }
+    }
+
+    /// Total DRAM traffic (bytes) of this kernel.
+    pub fn bytes(&self) -> u64 {
+        match &self.op {
+            OpKind::Matmul {
+                shape,
+                act,
+                weight,
+                out,
+            } => shape.bytes(act.bits(), weight.bits(), out.bits()),
+            OpKind::MemBound {
+                read_bytes,
+                write_bytes,
+                ..
+            } => read_bytes + write_bytes,
+            OpKind::HostCopy { bytes } => *bytes,
+        }
+    }
+
+    /// Weight-side traffic alone (the `[k,n]` operand), used by the NPU
+    /// residency model. Zero for non-matmul kernels.
+    pub fn weight_bytes(&self) -> u64 {
+        match &self.op {
+            OpKind::Matmul { shape, weight, .. } => {
+                shape.k as u64 * shape.n as u64 * weight.bits() as u64 / 8
+            }
+            _ => 0,
+        }
+    }
+
+    /// Arithmetic intensity in FLOPs per byte.
+    pub fn intensity(&self) -> f64 {
+        let b = self.bytes();
+        if b == 0 {
+            return 0.0;
+        }
+        self.flops() as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_accounting() {
+        let k = KernelDesc::matmul_w4a16(MatmulShape::new(128, 4096, 4096));
+        assert_eq!(k.flops(), 2 * 128 * 4096 * 4096);
+        // act f16 + weight int4 + out f16.
+        let expect = 128 * 4096 * 2 + 4096 * 4096 / 2 + 128 * 4096 * 2;
+        assert_eq!(k.bytes(), expect as u64);
+        assert_eq!(k.weight_bytes(), 4096 * 4096 / 2);
+        assert!(k.intensity() > 1.0);
+    }
+
+    #[test]
+    fn mem_bound_accounting() {
+        let k = KernelDesc::mem_bound(KernelLabel::RmsNorm, 1024, 1024, 4096);
+        assert_eq!(k.bytes(), 2048);
+        assert_eq!(k.flops(), 4096);
+        assert_eq!(k.weight_bytes(), 0);
+        assert_eq!(KernelLabel::RmsNorm.name(), "rmsnorm");
+    }
+
+    #[test]
+    fn host_copy_accounting() {
+        let k = KernelDesc::host_copy(4096);
+        assert_eq!(k.bytes(), 4096);
+        assert_eq!(k.flops(), 0);
+        assert_eq!(k.intensity(), 0.0);
+    }
+
+    #[test]
+    fn decode_gemv_is_memory_bound() {
+        // M=1 decode matmul: intensity far below any compute roof.
+        let k = KernelDesc::matmul_w4a16(MatmulShape::new(1, 4096, 4096));
+        assert!(k.intensity() < 8.0, "intensity {}", k.intensity());
+    }
+}

@@ -1,0 +1,131 @@
+//! Overlap arithmetic for parallel GPU/NPU sections.
+//!
+//! When two backends run concurrently they contend for DRAM bandwidth,
+//! so each side has two durations: `contended` (both streaming) and
+//! `solo` (the other side finished). The overlap model runs both sides
+//! at contended rate until the shorter finishes, then re-prices the
+//! longer side's remaining fraction at its solo rate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// The outcome of overlapping two concurrent executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlapOutcome {
+    /// Completion time of side A.
+    pub a_finish: SimTime,
+    /// Completion time of side B.
+    pub b_finish: SimTime,
+}
+
+impl OverlapOutcome {
+    /// The section's makespan.
+    pub fn makespan(&self) -> SimTime {
+        self.a_finish.max(self.b_finish)
+    }
+}
+
+/// Overlap two executions given their contended and solo durations.
+///
+/// Durations must satisfy `solo <= contended` (losing a competitor can
+/// only help); violations are clamped defensively.
+pub fn overlap(
+    a_contended: SimTime,
+    a_solo: SimTime,
+    b_contended: SimTime,
+    b_solo: SimTime,
+) -> OverlapOutcome {
+    let a_solo = a_solo.min(a_contended);
+    let b_solo = b_solo.min(b_contended);
+
+    if a_contended == SimTime::ZERO {
+        return OverlapOutcome {
+            a_finish: SimTime::ZERO,
+            b_finish: b_solo,
+        };
+    }
+    if b_contended == SimTime::ZERO {
+        return OverlapOutcome {
+            a_finish: a_solo,
+            b_finish: SimTime::ZERO,
+        };
+    }
+
+    if a_contended <= b_contended {
+        // A runs fully contended; B finishes its remainder solo.
+        let frac_done = a_contended.as_nanos() as f64 / b_contended.as_nanos() as f64;
+        let remainder = b_solo.scale(1.0 - frac_done);
+        OverlapOutcome {
+            a_finish: a_contended,
+            b_finish: a_contended + remainder,
+        }
+    } else {
+        let frac_done = b_contended.as_nanos() as f64 / a_contended.as_nanos() as f64;
+        let remainder = a_solo.scale(1.0 - frac_done);
+        OverlapOutcome {
+            a_finish: b_contended + remainder,
+            b_finish: b_contended,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_micros(x)
+    }
+
+    #[test]
+    fn equal_sides_finish_together() {
+        let o = overlap(us(100), us(80), us(100), us(80));
+        assert_eq!(o.a_finish, us(100));
+        assert_eq!(o.b_finish, us(100));
+        assert_eq!(o.makespan(), us(100));
+    }
+
+    #[test]
+    fn longer_side_speeds_up_after_shorter_finishes() {
+        // B has 200 µs contended / 100 µs solo; A takes 100 µs.
+        // After A finishes, B has done half its work, and the remaining
+        // half runs at solo speed: 100 + 50 = 150 µs.
+        let o = overlap(us(100), us(100), us(200), us(100));
+        assert_eq!(o.a_finish, us(100));
+        assert_eq!(o.b_finish, us(150));
+    }
+
+    #[test]
+    fn symmetric_in_argument_order() {
+        let o1 = overlap(us(100), us(90), us(300), us(200));
+        let o2 = overlap(us(300), us(200), us(100), us(90));
+        assert_eq!(o1.a_finish, o2.b_finish);
+        assert_eq!(o1.b_finish, o2.a_finish);
+    }
+
+    #[test]
+    fn zero_side_degenerates_to_solo() {
+        let o = overlap(SimTime::ZERO, SimTime::ZERO, us(200), us(120));
+        assert_eq!(o.a_finish, SimTime::ZERO);
+        assert_eq!(o.b_finish, us(120));
+        let o = overlap(us(200), us(120), SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(o.a_finish, us(120));
+    }
+
+    #[test]
+    fn solo_never_exceeds_contended() {
+        // Defensive clamp: a mis-specified solo > contended is clamped.
+        let o = overlap(us(100), us(150), us(100), us(150));
+        assert_eq!(o.makespan(), us(100));
+    }
+
+    #[test]
+    fn makespan_bounded_by_contended_and_solo_extremes() {
+        let o = overlap(us(120), us(70), us(400), us(250));
+        // Never faster than the longer solo time, never slower than the
+        // longer contended time.
+        assert!(o.makespan() >= us(250));
+        assert!(o.makespan() <= us(400));
+    }
+}

@@ -1,0 +1,133 @@
+//! Mobile SoC specification table (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Published specifications of one mobile heterogeneous SoC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SocSpec {
+    /// Vendor name.
+    pub vendor: &'static str,
+    /// SoC model.
+    pub soc: &'static str,
+    /// GPU model.
+    pub gpu: &'static str,
+    /// GPU FP16 throughput, TFLOPS.
+    pub gpu_fp16_tflops: f64,
+    /// NPU model.
+    pub npu: &'static str,
+    /// NPU INT8 throughput, TOPS.
+    pub npu_int8_tops: f64,
+    /// NPU FP16 throughput, TFLOPS (vendor-estimated as INT8/2 where
+    /// undisclosed; `None` where FP16 is unsupported).
+    pub npu_fp16_tflops: Option<f64>,
+}
+
+/// Table 1: specifications of mainstream mobile heterogeneous SoCs.
+pub fn table1() -> Vec<SocSpec> {
+    vec![
+        SocSpec {
+            vendor: "Qualcomm",
+            soc: "8 Gen 3",
+            gpu: "Adreno 750",
+            gpu_fp16_tflops: 2.8,
+            npu: "Hexagon",
+            npu_int8_tops: 73.0,
+            npu_fp16_tflops: Some(36.0),
+        },
+        SocSpec {
+            vendor: "MTK",
+            soc: "K9300",
+            gpu: "Mali-G720",
+            gpu_fp16_tflops: 4.0,
+            npu: "APU 790",
+            npu_int8_tops: 48.0,
+            npu_fp16_tflops: Some(24.0),
+        },
+        SocSpec {
+            vendor: "Apple",
+            soc: "A18",
+            gpu: "Bionic GPU",
+            gpu_fp16_tflops: 1.8,
+            npu: "Neural Engine",
+            npu_int8_tops: 35.0,
+            npu_fp16_tflops: Some(17.0),
+        },
+        SocSpec {
+            vendor: "Nvidia",
+            soc: "Orin",
+            gpu: "Ampere GPU",
+            gpu_fp16_tflops: 10.0,
+            npu: "DLA",
+            npu_int8_tops: 87.0,
+            npu_fp16_tflops: None,
+        },
+        SocSpec {
+            vendor: "Tesla",
+            soc: "FSD",
+            gpu: "FSD GPU",
+            gpu_fp16_tflops: 0.6,
+            npu: "FSD D1",
+            npu_int8_tops: 73.0,
+            npu_fp16_tflops: None,
+        },
+    ]
+}
+
+/// Project a [`crate::SocConfig`] for another Table-1 SoC.
+///
+/// Scaling assumptions (documented, not measured): achieved GPU
+/// throughput scales with the spec's theoretical FP16 rating by the
+/// same achieved/theoretical ratio the paper measured on the 8 Gen 3
+/// (≈1.0/2.8), and achieved NPU FP16 scales with the marketing rating
+/// by ≈10/36. The memory subsystem and synchronization costs are kept
+/// at the 8 Gen 3 calibration — phone-class LPDDR and driver stacks are
+/// broadly comparable, and no public per-SoC numbers exist.
+pub fn project_config(spec: &SocSpec) -> Option<crate::SocConfig> {
+    let npu_fp16 = spec.npu_fp16_tflops?;
+    let mut cfg = crate::SocConfig::snapdragon_8gen3();
+    let gpu_ratio = crate::calib::GPU_ACHIEVED_TFLOPS / 2.8;
+    let npu_ratio = crate::calib::NPU_ACHIEVED_TFLOPS / 36.0;
+    cfg.gpu.achieved_tflops = spec.gpu_fp16_tflops * gpu_ratio;
+    cfg.npu.peak_tflops = npu_fp16 * npu_ratio;
+    Some(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        let qc = &t[0];
+        assert_eq!(qc.soc, "8 Gen 3");
+        assert_eq!(qc.gpu_fp16_tflops, 2.8);
+        assert_eq!(qc.npu_int8_tops, 73.0);
+        assert_eq!(qc.npu_fp16_tflops, Some(36.0));
+        // NPUs without FP16 support.
+        assert!(t.iter().filter(|s| s.npu_fp16_tflops.is_none()).count() == 2);
+    }
+
+    #[test]
+    fn projection_scales_with_specs() {
+        let t = table1();
+        let qc = project_config(&t[0]).expect("qualcomm has fp16 npu");
+        // Projecting the calibration platform reproduces it.
+        assert!((qc.gpu.achieved_tflops - crate::calib::GPU_ACHIEVED_TFLOPS).abs() < 1e-9);
+        assert!((qc.npu.peak_tflops - crate::calib::NPU_ACHIEVED_TFLOPS).abs() < 1e-9);
+        let mtk = project_config(&t[1]).expect("mtk has fp16 npu");
+        assert!(mtk.gpu.achieved_tflops > qc.gpu.achieved_tflops);
+        assert!(mtk.npu.peak_tflops < qc.npu.peak_tflops);
+        // No FP16 NPU ⇒ no projection.
+        assert!(project_config(&t[3]).is_none());
+    }
+
+    #[test]
+    fn npu_exceeds_gpu_on_phone_socs() {
+        for s in table1().iter().take(3) {
+            let npu = s.npu_fp16_tflops.expect("phone NPUs support fp16");
+            assert!(npu > s.gpu_fp16_tflops * 4.0, "{}", s.soc);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Thermal throttling model for sustained workloads.
+//!
+//! The paper's design §4 motivates not exhausting all processor power
+//! "given the power constraints ... of mobile systems". This module
+//! makes that constraint quantitative: a first-order thermal RC model
+//! with a skin-temperature throttle. Engines whose average power sits
+//! below the thermal envelope sustain their throughput indefinitely;
+//! hotter engines converge to a throttled equilibrium.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order thermal model with linear DVFS throttling.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_soc::thermal::ThermalModel;
+///
+/// let m = ThermalModel::default();
+/// // A 2 W NPU-dominant engine sustains forever; a 5 W GPU burn throttles.
+/// assert_eq!(m.sustained_factor(2.0, 1800.0), 1.0);
+/// assert!(m.sustained_factor(5.0, 1800.0) < 0.95);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Ambient/skin baseline temperature, °C.
+    pub ambient_c: f64,
+    /// Temperature where throttling begins, °C (skin-temp limit).
+    pub throttle_start_c: f64,
+    /// Temperature where the throttle reaches its floor, °C.
+    pub throttle_full_c: f64,
+    /// Steady-state temperature rise per watt, °C/W.
+    pub resistance_c_per_w: f64,
+    /// Thermal time constant, seconds.
+    pub time_constant_s: f64,
+    /// Minimum clock/throughput factor under full throttle.
+    pub min_factor: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        // A passively-cooled phone chassis: ~7 °C/W steady-state rise,
+        // minute-scale time constant, throttling between 45 and 55 °C.
+        Self {
+            ambient_c: 25.0,
+            throttle_start_c: 45.0,
+            throttle_full_c: 55.0,
+            resistance_c_per_w: 7.0,
+            time_constant_s: 60.0,
+            min_factor: 0.45,
+        }
+    }
+}
+
+/// One sample of a sustained-load simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThermalSample {
+    /// Time since workload start, seconds.
+    pub t_s: f64,
+    /// Junction/skin temperature, °C.
+    pub temp_c: f64,
+    /// Throughput (and power) factor in effect.
+    pub factor: f64,
+}
+
+impl ThermalModel {
+    /// Throttle factor at a given temperature: 1.0 below the start
+    /// threshold, linearly down to `min_factor` at the full threshold.
+    pub fn throttle_factor(&self, temp_c: f64) -> f64 {
+        if temp_c <= self.throttle_start_c {
+            return 1.0;
+        }
+        if temp_c >= self.throttle_full_c {
+            return self.min_factor;
+        }
+        let span = self.throttle_full_c - self.throttle_start_c;
+        let frac = (temp_c - self.throttle_start_c) / span;
+        1.0 - frac * (1.0 - self.min_factor)
+    }
+
+    /// Steady-state temperature at constant power (ignoring throttle
+    /// feedback).
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + power_w * self.resistance_c_per_w
+    }
+
+    /// Simulate a sustained workload drawing `base_power_w` at full
+    /// speed. Throttling scales both throughput and power (DVFS), so
+    /// the system converges to a self-consistent equilibrium.
+    pub fn sustained(&self, base_power_w: f64, duration_s: f64, step_s: f64) -> Vec<ThermalSample> {
+        assert!(step_s > 0.0 && duration_s >= 0.0);
+        let mut samples = Vec::new();
+        let mut temp = self.ambient_c;
+        let mut t = 0.0;
+        while t <= duration_s {
+            let factor = self.throttle_factor(temp);
+            samples.push(ThermalSample {
+                t_s: t,
+                temp_c: temp,
+                factor,
+            });
+            let power = base_power_w * factor;
+            let target = self.steady_state_c(power);
+            // First-order step: dT = (target - T) · (1 - e^{-dt/τ}).
+            let alpha = 1.0 - (-step_s / self.time_constant_s).exp();
+            temp += (target - temp) * alpha;
+            t += step_s;
+        }
+        samples
+    }
+
+    /// Mean throughput factor over a sustained run (the fraction of
+    /// cold-start performance the engine keeps long-term).
+    pub fn sustained_factor(&self, base_power_w: f64, duration_s: f64) -> f64 {
+        let samples = self.sustained(base_power_w, duration_s, 1.0);
+        samples.iter().map(|s| s.factor).sum::<f64>() / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cool_workloads_never_throttle() {
+        let m = ThermalModel::default();
+        // 2.2 W → steady 40.4 °C < 45 °C.
+        let samples = m.sustained(2.2, 1200.0, 1.0);
+        assert!(samples.iter().all(|s| s.factor == 1.0));
+        assert!(samples.last().expect("samples").temp_c < m.throttle_start_c);
+    }
+
+    #[test]
+    fn hot_workloads_converge_to_throttled_equilibrium() {
+        let m = ThermalModel::default();
+        // 4.4 W → unthrottled steady 55.8 °C ⇒ must throttle.
+        let samples = m.sustained(4.4, 3600.0, 1.0);
+        let last = samples.last().expect("samples");
+        assert!(last.factor < 1.0, "factor {}", last.factor);
+        assert!(last.factor >= m.min_factor);
+        // Equilibrium self-consistency: steady temp at throttled power
+        // matches the final temperature within a degree.
+        let eq_temp = m.steady_state_c(4.4 * last.factor);
+        assert!(
+            (eq_temp - last.temp_c).abs() < 1.0,
+            "{eq_temp} vs {}",
+            last.temp_c
+        );
+    }
+
+    #[test]
+    fn throttle_factor_is_piecewise_linear() {
+        let m = ThermalModel::default();
+        assert_eq!(m.throttle_factor(30.0), 1.0);
+        assert_eq!(m.throttle_factor(45.0), 1.0);
+        assert_eq!(m.throttle_factor(55.0), m.min_factor);
+        assert_eq!(m.throttle_factor(80.0), m.min_factor);
+        let mid = m.throttle_factor(50.0);
+        assert!((mid - (1.0 + m.min_factor) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_factor_orders_by_power() {
+        let m = ThermalModel::default();
+        let cool = m.sustained_factor(2.0, 1800.0);
+        let warm = m.sustained_factor(3.5, 1800.0);
+        let hot = m.sustained_factor(5.0, 1800.0);
+        assert!(cool >= warm && warm >= hot);
+        assert_eq!(cool, 1.0);
+        assert!(hot < 0.95);
+    }
+
+    #[test]
+    fn short_bursts_stay_cold() {
+        // A 10-second burst at high power barely moves a 60 s-constant
+        // thermal mass.
+        let m = ThermalModel::default();
+        let f = m.sustained_factor(5.0, 10.0);
+        assert!(f > 0.99, "burst factor {f}");
+    }
+}

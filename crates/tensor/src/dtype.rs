@@ -1,0 +1,216 @@
+//! Data types used for storage and arithmetic across the system.
+//!
+//! Computation in this reproduction is always carried out in `f32`
+//! (standing in for the FP16 arithmetic of the mobile accelerators,
+//! which Rust lacks natively), while *storage* may be quantized. The
+//! [`DType`] of a buffer therefore determines its memory footprint —
+//! which is what the simulator's bandwidth model charges — independent
+//! of the arithmetic precision.
+
+use serde::{Deserialize, Serialize};
+
+/// Storage data type of a tensor or weight buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 16-bit float storage (computed in f32; models mobile FP16).
+    F16,
+    /// 8-bit signed integer, per-row scale.
+    Int8,
+    /// 4-bit signed integer, group-wise scale (W4A16 weight storage).
+    Int4,
+}
+
+impl DType {
+    /// Storage size of one element in *bits*.
+    ///
+    /// Int4 packs two elements per byte, hence the bit-level granularity.
+    pub const fn bits(self) -> usize {
+        match self {
+            Self::F32 => 32,
+            Self::F16 => 16,
+            Self::Int8 => 8,
+            Self::Int4 => 4,
+        }
+    }
+
+    /// Bytes needed to store `n` elements of this type, including any
+    /// padding byte required by nibble packing.
+    pub const fn bytes_for(self, n: usize) -> usize {
+        (n * self.bits()).div_ceil(8)
+    }
+
+    /// Whether this is an integer (quantized) storage type.
+    pub const fn is_quantized(self) -> bool {
+        matches!(self, Self::Int8 | Self::Int4)
+    }
+
+    /// Short lowercase name, as used in reports and profiles.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::F32 => "f32",
+            Self::F16 => "f16",
+            Self::Int8 => "int8",
+            Self::Int4 => "int4",
+        }
+    }
+}
+
+impl core::fmt::Display for DType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Truncate an `f32` to the nearest representable `f16` value and widen
+/// back, emulating FP16 storage round-trips without a native type.
+///
+/// Uses round-to-nearest-even on the 10-bit mantissa; handles subnormals,
+/// infinities and NaN. This matches what a mobile accelerator storing
+/// FP16 activations observes.
+pub fn f32_through_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Convert an `f32` to IEEE 754 binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Infinity or NaN; keep a mantissa bit for NaN payloads.
+        let nan_bit = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan_bit;
+    }
+
+    // Re-bias the exponent from 127 to 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow to infinity.
+        return sign | 0x7c00;
+    }
+    if unbiased >= -14 {
+        // Normal range: keep top 10 mantissa bits with RNE.
+        let mant16 = mant >> 13;
+        let rest = mant & 0x1fff;
+        let halfway = 0x1000;
+        let exp16 = (unbiased + 15) as u16;
+        let mut out = sign | (exp16 << 10) | mant16 as u16;
+        if rest > halfway || (rest == halfway && (mant16 & 1) == 1) {
+            out += 1; // carries into the exponent are fine (monotone).
+        }
+        return out;
+    }
+    if unbiased >= -24 {
+        // Subnormal range: the result is `full * 2^(unbiased+1)` in units
+        // of the f16 subnormal step 2^-24, i.e. a right shift by
+        // `-unbiased - 1` (between 14 and 23).
+        let full = mant | 0x0080_0000;
+        let shift = (-unbiased - 1) as u32;
+        let mant16 = (full >> shift) as u16;
+        let rest = full & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut out = sign | mant16;
+        if rest > halfway || (rest == halfway && (mant16 & 1) == 1) {
+            out += 1;
+        }
+        return out;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Convert IEEE 754 binary16 bits to `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+
+    let bits = if exp == 0x1f {
+        // Inf / NaN.
+        sign | 0x7f80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: normalize.
+            let mut m = mant;
+            let mut e = -14i32;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03ff;
+            sign | (((e + 127) as u32) << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_bytes() {
+        assert_eq!(DType::F32.bits(), 32);
+        assert_eq!(DType::Int4.bytes_for(3), 2);
+        assert_eq!(DType::Int4.bytes_for(4), 2);
+        assert_eq!(DType::Int8.bytes_for(5), 5);
+        assert_eq!(DType::F16.bytes_for(5), 10);
+    }
+
+    #[test]
+    fn quantized_flags() {
+        assert!(DType::Int4.is_quantized());
+        assert!(DType::Int8.is_quantized());
+        assert!(!DType::F32.is_quantized());
+        assert!(!DType::F16.is_quantized());
+    }
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0] {
+            assert_eq!(f32_through_f16(x), x, "value {x} should be f16-exact");
+        }
+    }
+
+    #[test]
+    fn f16_infinity_and_nan() {
+        assert_eq!(f32_through_f16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(f32_through_f16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(f32_through_f16(f32::NAN).is_nan());
+        // Overflow beyond the f16 max rounds to infinity.
+        assert_eq!(f32_through_f16(1.0e6), f32::INFINITY);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let smallest_subnormal = 5.960_464_5e-8_f32; // 2^-24
+        let rt = f32_through_f16(smallest_subnormal);
+        assert!((rt - smallest_subnormal).abs() < 1e-9);
+        // Below half the smallest subnormal flushes to zero.
+        assert_eq!(f32_through_f16(1.0e-9), 0.0);
+    }
+
+    #[test]
+    fn f16_rounding_error_bounded() {
+        // Relative error of f16 rounding is at most 2^-11 for normals.
+        for i in 1..1000 {
+            let x = i as f32 * 0.3141;
+            let rt = f32_through_f16(x);
+            assert!((rt - x).abs() / x <= 4.9e-4, "x={x} rt={rt}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::Int4.to_string(), "int4");
+    }
+}

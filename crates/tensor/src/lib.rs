@@ -1,0 +1,97 @@
+#![warn(missing_docs)]
+
+//! Tensor library for the HeteroLLM reproduction.
+//!
+//! This crate provides the *functional* substrate of the system: dense
+//! FP32 tensors, group quantization (W4A16, INT8), and the CPU reference
+//! kernels an LLM decoder needs (GEMM, RMSNorm, SwiGLU, RoPE, softmax,
+//! embedding lookup, sampling).
+//!
+//! Everything here is deterministic and backend-agnostic: the simulated
+//! GPU/NPU backends in `hetero-soc` charge *time* for kernels, while the
+//! math itself (when running in functional mode) is always executed by
+//! these reference kernels. That split lets the test-suite assert
+//! numerical equivalence of every tensor-partition strategy against the
+//! un-partitioned computation.
+//!
+//! # Examples
+//!
+//! ```
+//! use hetero_tensor::{Tensor, ops};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = ops::matmul(&a, &b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod dtype;
+pub mod ops;
+pub mod quant;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use dtype::DType;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Errors produced by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the shape volume.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested kernel.
+    ShapeMismatch {
+        /// Human-readable description of the incompatibility.
+        context: String,
+    },
+    /// An index or range is out of bounds.
+    OutOfBounds {
+        /// Human-readable description of the offending access.
+        context: String,
+    },
+    /// The operation requires a different dimensionality.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// Quantization parameters are invalid (e.g. zero group size).
+    InvalidQuantization {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+}
+
+impl core::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape volume {expected}"
+                )
+            }
+            Self::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            Self::OutOfBounds { context } => write!(f, "out of bounds: {context}"),
+            Self::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            Self::InvalidQuantization { context } => {
+                write!(f, "invalid quantization: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, TensorError>;

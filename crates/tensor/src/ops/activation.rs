@@ -1,0 +1,124 @@
+//! Activation functions and softmax.
+
+use crate::{Result, Tensor, TensorError};
+
+/// SiLU (sigmoid-weighted linear unit): `x * sigmoid(x)`.
+pub fn silu(x: &Tensor) -> Tensor {
+    let data = x.data().iter().map(|&v| v / (1.0 + (-v).exp())).collect();
+    Tensor::from_vec(data, x.shape().dims()).expect("same shape")
+}
+
+/// GELU (tanh approximation), provided for non-Llama model variants.
+pub fn gelu(x: &Tensor) -> Tensor {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    let data = x
+        .data()
+        .iter()
+        .map(|&v| 0.5 * v * (1.0 + (C * (v + 0.044_715 * v * v * v)).tanh()))
+        .collect();
+    Tensor::from_vec(data, x.shape().dims()).expect("same shape")
+}
+
+/// SwiGLU gating: `silu(gate) * up`, the Llama FFN nonlinearity.
+///
+/// The paper schedules this on the GPU backend (Fig. 7).
+pub fn swiglu(gate: &Tensor, up: &Tensor) -> Result<Tensor> {
+    if !gate.shape().same_as(up.shape()) {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("swiglu {} vs {}", gate.shape(), up.shape()),
+        });
+    }
+    let data = gate
+        .data()
+        .iter()
+        .zip(up.data())
+        .map(|(&g, &u)| (g / (1.0 + (-g).exp())) * u)
+        .collect();
+    Tensor::from_vec(data, gate.shape().dims())
+}
+
+/// Numerically-stable softmax over each row of a rank-2 tensor.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = x.matrix_dims()?;
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = x.row(r)?;
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out[r * cols + c] = e;
+            sum += e;
+        }
+        for c in 0..cols {
+            out[r * cols + c] /= sum;
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::WeightRng;
+
+    #[test]
+    fn silu_known_values() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, -1.0], &[1, 3]).unwrap();
+        let y = silu(&x);
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 0.731_058_6).abs() < 1e-5);
+        assert!((y.data()[2] - -0.268_941_43).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        let x = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let y = gelu(&x);
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 0.841_192).abs() < 1e-3);
+    }
+
+    #[test]
+    fn swiglu_is_silu_times_up() {
+        let g = WeightRng::new(30).uniform("g", &[2, 8], 2.0).unwrap();
+        let u = WeightRng::new(30).uniform("u", &[2, 8], 2.0).unwrap();
+        let out = swiglu(&g, &u).unwrap();
+        let manual = {
+            let s = silu(&g);
+            let data = s.data().iter().zip(u.data()).map(|(a, b)| a * b).collect();
+            Tensor::from_vec(data, &[2, 8]).unwrap()
+        };
+        out.assert_close(&manual, 0.0);
+        assert!(swiglu(&g, &Tensor::zeros(&[2, 4])).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = WeightRng::new(31).uniform("x", &[3, 10], 5.0).unwrap();
+        let y = softmax_rows(&x).unwrap();
+        for r in 0..3 {
+            let s: f32 = y.row(r).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(y.row(r).unwrap().iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1000.0, -1000.0], &[1, 3]).unwrap();
+        let y = softmax_rows(&x).unwrap();
+        assert!((y.data()[0] - 0.5).abs() < 1e-5);
+        assert!(y.data()[2] < 1e-6);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let shifted = Tensor::from_vec(vec![11.0, 12.0, 13.0], &[1, 3]).unwrap();
+        softmax_rows(&x)
+            .unwrap()
+            .assert_close(&softmax_rows(&shifted).unwrap(), 1e-6);
+    }
+}

@@ -1,0 +1,227 @@
+//! Causal grouped-query attention.
+
+use crate::ops::softmax_rows;
+use crate::{Result, Tensor, TensorError};
+
+/// Parameters of a multi-head attention computation.
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionConfig {
+    /// Query heads.
+    pub heads: usize,
+    /// KV heads (GQA when < `heads`; must divide `heads`).
+    pub kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+}
+
+impl AttentionConfig {
+    fn validate(&self, q_width: usize, kv_width: usize) -> Result<()> {
+        if self.heads == 0 || self.kv_heads == 0 || !self.heads.is_multiple_of(self.kv_heads) {
+            return Err(TensorError::ShapeMismatch {
+                context: format!("{} query heads vs {} kv heads", self.heads, self.kv_heads),
+            });
+        }
+        if q_width != self.heads * self.head_dim {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "query width {q_width} vs {} heads x {}",
+                    self.heads, self.head_dim
+                ),
+            });
+        }
+        if kv_width != self.kv_heads * self.head_dim {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "kv width {kv_width} vs {} kv heads x {}",
+                    self.kv_heads, self.head_dim
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Causal GQA attention.
+///
+/// `q` is `[m, heads·head_dim]` holding queries for absolute positions
+/// `pos..pos+m`; `keys`/`values` are `[ctx, kv_heads·head_dim]` holding
+/// the full prefix (`ctx ≥ pos + m`). Returns `[m, heads·head_dim]`.
+///
+/// Each query attends causally: position `p` sees keys `0..=p`.
+/// Scores are scaled by `1/√head_dim` and softmax-normalized per head.
+pub fn causal_attention(
+    cfg: AttentionConfig,
+    q: &Tensor,
+    keys: &Tensor,
+    values: &Tensor,
+    pos: usize,
+) -> Result<Tensor> {
+    let (m, q_width) = q.matrix_dims()?;
+    let (ctx, kv_width) = keys.matrix_dims()?;
+    let (vctx, v_width) = values.matrix_dims()?;
+    cfg.validate(q_width, kv_width)?;
+    if v_width != kv_width || vctx != ctx {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("values [{vctx},{v_width}] vs keys [{ctx},{kv_width}]"),
+        });
+    }
+    if pos + m > ctx {
+        return Err(TensorError::OutOfBounds {
+            context: format!("queries at {pos}..{} exceed context {ctx}", pos + m),
+        });
+    }
+
+    let hd = cfg.head_dim;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let group = cfg.heads / cfg.kv_heads;
+    let mut out = Tensor::zeros(&[m, q_width]);
+
+    for h in 0..cfg.heads {
+        let kv_h = h / group;
+        // Scores [m, ctx] with causal masking.
+        let mut scores = vec![f32::NEG_INFINITY; m * ctx];
+        for r in 0..m {
+            let abs_pos = pos + r;
+            let q_row = &q.row(r)?[h * hd..(h + 1) * hd];
+            for c in 0..=abs_pos.min(ctx - 1) {
+                let k_row = &keys.row(c)?[kv_h * hd..(kv_h + 1) * hd];
+                let dot: f32 = q_row.iter().zip(k_row).map(|(a, b)| a * b).sum();
+                scores[r * ctx + c] = dot * scale;
+            }
+        }
+        let probs = softmax_rows(&Tensor::from_vec(scores, &[m, ctx])?)?;
+        for r in 0..m {
+            let p_row = probs.row(r)?;
+            let out_row = &mut out.data_mut()[r * q_width + h * hd..r * q_width + (h + 1) * hd];
+            for (c, &w) in p_row.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let v_row = &values.row(c)?[kv_h * hd..(kv_h + 1) * hd];
+                for (o, &vv) in out_row.iter_mut().zip(v_row) {
+                    *o += w * vv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::WeightRng;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig {
+            heads: 4,
+            kv_heads: 2,
+            head_dim: 8,
+        }
+    }
+
+    fn rand(seed: u64, name: &str, r: usize, c: usize) -> Tensor {
+        WeightRng::new(seed).uniform(name, &[r, c], 1.0).unwrap()
+    }
+
+    #[test]
+    fn output_rows_are_convex_combinations() {
+        // With softmax weights, each output lies within the min/max of
+        // the attended values per dimension.
+        let q = rand(1, "q", 4, 32);
+        let k = rand(1, "k", 4, 16);
+        let v = rand(1, "v", 4, 16);
+        let out = causal_attention(cfg(), &q, &k, &v, 0).unwrap();
+        // Output dim d belongs to query head d/8, which reads kv head
+        // (d/8)/2, i.e. value dimension ((d/8)/2)*8 + d%8.
+        for d in 0..32 {
+            let vdim = (d / 8 / 2) * 8 + d % 8;
+            let col: Vec<f32> = (0..4).map(|r| v.at(&[r, vdim]).unwrap()).collect();
+            let (lo, hi) = col
+                .iter()
+                .fold((f32::MAX, f32::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+            // Row 3 attends over all 4 positions.
+            let val = out.at(&[3, d]).unwrap();
+            assert!(
+                val >= lo - 1e-4 && val <= hi + 1e-4,
+                "dim {d}: {val} not in [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn causality_first_row_sees_only_first_key() {
+        // Row 0 at pos 0 attends only to position 0, so its output is
+        // exactly value row 0 (per kv head slice).
+        let q = rand(2, "q", 3, 32);
+        let k = rand(2, "k", 3, 16);
+        let v = rand(2, "v", 3, 16);
+        let out = causal_attention(cfg(), &q, &k, &v, 0).unwrap();
+        // Head 0 uses kv head 0 → v[0][0..8].
+        for d in 0..8 {
+            assert!((out.at(&[0, d]).unwrap() - v.at(&[0, d]).unwrap()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn future_keys_do_not_leak() {
+        // Changing keys/values beyond a row's position must not change
+        // that row's output.
+        let q = rand(3, "q", 2, 32);
+        let k = rand(3, "k", 4, 16);
+        let v = rand(3, "v", 4, 16);
+        let base = causal_attention(cfg(), &q, &k, &v, 0).unwrap();
+
+        let mut k2 = k.clone();
+        let mut v2 = v.clone();
+        for c in 0..16 {
+            k2.set(&[3, c], 99.0).unwrap();
+            v2.set(&[3, c], -99.0).unwrap();
+        }
+        let perturbed = causal_attention(cfg(), &q, &k2, &v2, 0).unwrap();
+        // Rows 0 and 1 (positions 0 and 1) never see position 3.
+        base.assert_close(&perturbed, 0.0);
+    }
+
+    #[test]
+    fn gqa_heads_share_kv() {
+        // Query heads 0 and 1 share kv head 0: with identical query
+        // slices they produce identical outputs.
+        let mut q = Tensor::zeros(&[1, 32]);
+        for d in 0..8 {
+            q.set(&[0, d], 0.5).unwrap(); // head 0
+            q.set(&[0, 8 + d], 0.5).unwrap(); // head 1 (same kv head)
+        }
+        let k = rand(4, "k", 2, 16);
+        let v = rand(4, "v", 2, 16);
+        let out = causal_attention(cfg(), &q, &k, &v, 1).unwrap();
+        for d in 0..8 {
+            assert_eq!(out.at(&[0, d]).unwrap(), out.at(&[0, 8 + d]).unwrap());
+        }
+    }
+
+    #[test]
+    fn decode_position_offsets_respected() {
+        let q = rand(5, "q", 1, 32);
+        let k = rand(5, "k", 6, 16);
+        let v = rand(5, "v", 6, 16);
+        // Query at absolute position 5 over ctx 6 — valid.
+        assert!(causal_attention(cfg(), &q, &k, &v, 5).is_ok());
+        // Position 6 would exceed the context.
+        assert!(causal_attention(cfg(), &q, &k, &v, 6).is_err());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let q = rand(6, "q", 2, 32);
+        let k = rand(6, "k", 2, 16);
+        let v_bad = rand(6, "v", 2, 8);
+        assert!(causal_attention(cfg(), &q, &k, &v_bad, 0).is_err());
+        let bad_cfg = AttentionConfig {
+            heads: 3,
+            kv_heads: 2,
+            head_dim: 8,
+        };
+        assert!(causal_attention(bad_cfg, &q, &k, &k, 0).is_err());
+    }
+}

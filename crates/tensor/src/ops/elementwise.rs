@@ -1,0 +1,59 @@
+//! Elementwise arithmetic kernels.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_same(a: &Tensor, b: &Tensor, op: &str) -> Result<()> {
+    if !a.shape().same_as(b.shape()) {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("{op} between {} and {}", a.shape(), b.shape()),
+        });
+    }
+    Ok(())
+}
+
+/// Elementwise addition (residual connections).
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same(a, b, "add")?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Tensor::from_vec(data, a.shape().dims())
+}
+
+/// Elementwise multiplication.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same(a, b, "mul")?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
+    Tensor::from_vec(data, a.shape().dims())
+}
+
+/// Scalar multiplication.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    let data = a.data().iter().map(|x| x * s).collect();
+    Tensor::from_vec(data, a.shape().dims()).expect("same shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_mul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]).unwrap();
+        assert_eq!(add(&a, &b).unwrap().data(), &[4.0, 6.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn scale_works() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2, 1]).unwrap();
+        assert_eq!(scale(&a, -2.0).data(), &[-2.0, 4.0]);
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let a = Tensor::zeros(&[1, 2]);
+        let b = Tensor::zeros(&[2, 1]);
+        assert!(add(&a, &b).is_err());
+        assert!(mul(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Embedding table lookup.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Gather rows of a `[vocab, hidden]` embedding table for a token
+/// sequence, producing `[seq, hidden]`.
+pub fn embed(table: &Tensor, tokens: &[u32]) -> Result<Tensor> {
+    let (vocab, hidden) = table.matrix_dims()?;
+    let mut data = Vec::with_capacity(tokens.len() * hidden);
+    for &t in tokens {
+        let t = t as usize;
+        if t >= vocab {
+            return Err(TensorError::OutOfBounds {
+                context: format!("token {t} of vocab {vocab}"),
+            });
+        }
+        data.extend_from_slice(table.row(t)?);
+    }
+    Tensor::from_vec(data, &[tokens.len(), hidden])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gathers_rows() {
+        let table = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[4, 3]).unwrap();
+        let out = embed(&table, &[2, 0, 2]).unwrap();
+        assert_eq!(out.shape().dims(), &[3, 3]);
+        assert_eq!(out.row(0).unwrap(), &[6.0, 7.0, 8.0]);
+        assert_eq!(out.row(1).unwrap(), &[0.0, 1.0, 2.0]);
+        assert_eq!(out.row(2).unwrap(), &[6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn out_of_vocab_rejected() {
+        let table = Tensor::zeros(&[4, 3]);
+        assert!(embed(&table, &[4]).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_ok() {
+        let table = Tensor::zeros(&[4, 3]);
+        let out = embed(&table, &[]).unwrap();
+        assert_eq!(out.shape().dims(), &[0, 3]);
+    }
+}

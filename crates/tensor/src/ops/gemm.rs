@@ -1,0 +1,186 @@
+//! Matrix multiplication kernels.
+
+use crate::quant::W4Matrix;
+use crate::{Result, Tensor, TensorError};
+
+fn check_mm(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
+    let (m, ka) = a.matrix_dims()?;
+    let (kb, n) = b.matrix_dims()?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("matmul [{m},{ka}] x [{kb},{n}]"),
+        });
+    }
+    Ok((m, ka, n))
+}
+
+/// Naive triple-loop GEMM, the golden reference for tests.
+pub fn matmul_ref(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, n) = check_mm(a, b)?;
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ad[i * k + p] * bd[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Cache-friendlier GEMM (i-k-j loop order with row accumulation).
+///
+/// Produces bit-identical results to [`matmul_ref`] because each output
+/// element accumulates the `k` terms in the same ascending order.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_tensor::{ops, Tensor};
+///
+/// let a = Tensor::ones(&[2, 4]);
+/// let b = Tensor::ones(&[4, 3]);
+/// let c = ops::matmul(&a, &b).unwrap();
+/// assert!(c.data().iter().all(|&x| x == 4.0));
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, n) = check_mm(a, b)?;
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aip * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix-vector product `a [m,k] x v [k]`, the decode-phase workhorse.
+pub fn gemv(a: &Tensor, v: &[f32]) -> Result<Vec<f32>> {
+    let (m, k) = a.matrix_dims()?;
+    if v.len() != k {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("gemv [{m},{k}] x [{}]", v.len()),
+        });
+    }
+    let ad = a.data();
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &ad[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+    }
+    Ok(out)
+}
+
+/// W4A16 GEMM: `a [m,k] x w [k,n]` where the weight is stored INT4 and
+/// dequantized group-by-group into floating point before multiplying.
+///
+/// Numerically identical to `matmul(a, &w.dequantize())` — the weight
+/// dequantization path is exact — which the tests assert.
+pub fn matmul_w4(a: &Tensor, w: &W4Matrix) -> Result<Tensor> {
+    let (m, ka) = a.matrix_dims()?;
+    let (k, n) = w.dims();
+    if ka != k {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("matmul_w4 [{m},{ka}] x [{k},{n}]"),
+        });
+    }
+    let deq = w.dequantize()?;
+    matmul(a, &deq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::WeightRng;
+
+    #[test]
+    fn matmul_matches_reference() {
+        let rng = WeightRng::new(10);
+        let a = rng.uniform("a", &[7, 13], 1.0).unwrap();
+        let b = rng.uniform("b", &[13, 5], 1.0).unwrap();
+        let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_ref(&a, &b).unwrap();
+        fast.assert_close(&slow, 1e-5);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let a = WeightRng::new(11).uniform("a", &[4, 4], 1.0).unwrap();
+        let c = matmul(&a, &Tensor::eye(4)).unwrap();
+        c.assert_close(&a, 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_ref(&a, &b).is_err());
+    }
+
+    #[test]
+    fn gemv_matches_matmul() {
+        let rng = WeightRng::new(12);
+        let a = rng.uniform("a", &[6, 9], 1.0).unwrap();
+        let v: Vec<f32> = (0..9).map(|i| i as f32 * 0.1).collect();
+        let out = gemv(&a, &v).unwrap();
+        let vm = Tensor::from_vec(v.clone(), &[9, 1]).unwrap();
+        let mm = matmul(&a, &vm).unwrap();
+        for (x, y) in out.iter().zip(mm.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        assert!(gemv(&a, &v[..5]).is_err());
+    }
+
+    #[test]
+    fn w4_matmul_equals_dequantized_matmul() {
+        let rng = WeightRng::new(13);
+        let a = rng.uniform("a", &[3, 64], 1.0).unwrap();
+        let w = rng.uniform("w", &[64, 8], 0.2).unwrap();
+        let q = W4Matrix::quantize(&w, 32).unwrap();
+        let via_quant = matmul_w4(&a, &q).unwrap();
+        let via_deq = matmul(&a, &q.dequantize().unwrap()).unwrap();
+        via_quant.assert_close(&via_deq, 0.0);
+    }
+
+    #[test]
+    fn row_partition_equivalence() {
+        // Splitting the *weight* along its columns (the paper's
+        // row-cutting on the transposed weight) and concatenating the
+        // partial outputs must equal the whole product.
+        let rng = WeightRng::new(14);
+        let a = rng.uniform("a", &[5, 12], 1.0).unwrap();
+        let b = rng.uniform("b", &[12, 10], 1.0).unwrap();
+        let whole = matmul(&a, &b).unwrap();
+        let left = matmul(&a, &b.slice_cols(0, 6).unwrap()).unwrap();
+        let right = matmul(&a, &b.slice_cols(6, 10).unwrap()).unwrap();
+        let merged = Tensor::concat_cols(&[&left, &right]).unwrap();
+        merged.assert_close(&whole, 0.0);
+    }
+
+    #[test]
+    fn sequence_partition_equivalence() {
+        // Splitting the activation along the sequence (m) dimension and
+        // concatenating row-wise must equal the whole product.
+        let rng = WeightRng::new(15);
+        let a = rng.uniform("a", &[9, 8], 1.0).unwrap();
+        let b = rng.uniform("b", &[8, 6], 1.0).unwrap();
+        let whole = matmul(&a, &b).unwrap();
+        let top = matmul(&a.slice_rows(0, 4).unwrap(), &b).unwrap();
+        let bot = matmul(&a.slice_rows(4, 9).unwrap(), &b).unwrap();
+        let merged = Tensor::concat_rows(&[&top, &bot]).unwrap();
+        merged.assert_close(&whole, 0.0);
+    }
+}

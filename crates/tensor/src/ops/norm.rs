@@ -1,0 +1,78 @@
+//! Normalization kernels.
+
+use crate::{Result, Tensor, TensorError};
+
+/// RMSNorm over the last dimension of a `[seq, hidden]` tensor.
+///
+/// `y = x / sqrt(mean(x^2) + eps) * gain`, the normalization used by
+/// Llama-family models; the paper schedules it on the GPU backend
+/// (Fig. 7) because it is memory-bound and shape-hostile for the NPU.
+pub fn rmsnorm(x: &Tensor, gain: &[f32], eps: f32) -> Result<Tensor> {
+    let (seq, hidden) = x.matrix_dims()?;
+    if gain.len() != hidden {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("rmsnorm gain len {} vs hidden {hidden}", gain.len()),
+        });
+    }
+    let mut out = vec![0.0f32; seq * hidden];
+    for s in 0..seq {
+        let row = x.row(s)?;
+        let mean_sq = row.iter().map(|v| v * v).sum::<f32>() / hidden as f32;
+        let inv = 1.0 / (mean_sq + eps).sqrt();
+        for (c, (&v, &g)) in row.iter().zip(gain).enumerate() {
+            out[s * hidden + c] = v * inv * g;
+        }
+    }
+    Tensor::from_vec(out, &[seq, hidden])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::WeightRng;
+
+    #[test]
+    fn unit_gain_normalizes_rms_to_one() {
+        let x = WeightRng::new(20).uniform("x", &[4, 64], 3.0).unwrap();
+        let gain = vec![1.0f32; 64];
+        let y = rmsnorm(&x, &gain, 1e-6).unwrap();
+        for s in 0..4 {
+            let row = y.row(s).unwrap();
+            let rms = (row.iter().map(|v| v * v).sum::<f32>() / 64.0).sqrt();
+            assert!((rms - 1.0).abs() < 1e-3, "rms={rms}");
+        }
+    }
+
+    #[test]
+    fn gain_scales_output() {
+        let x = Tensor::ones(&[1, 4]);
+        let y = rmsnorm(&x, &[2.0, 2.0, 2.0, 2.0], 0.0).unwrap();
+        for &v in y.data() {
+            assert!((v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_row_is_stable_with_eps() {
+        let x = Tensor::zeros(&[1, 8]);
+        let y = rmsnorm(&x, &[1.0; 8], 1e-5).unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite() && *v == 0.0));
+    }
+
+    #[test]
+    fn gain_length_checked() {
+        let x = Tensor::zeros(&[1, 8]);
+        assert!(rmsnorm(&x, &[1.0; 4], 1e-5).is_err());
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // RMSNorm(c*x) == RMSNorm(x) for c > 0 (with eps ≈ 0).
+        let x = WeightRng::new(21).uniform("x", &[2, 16], 1.0).unwrap();
+        let scaled =
+            Tensor::from_vec(x.data().iter().map(|v| v * 5.0).collect(), &[2, 16]).unwrap();
+        let a = rmsnorm(&x, &[1.0; 16], 0.0).unwrap();
+        let b = rmsnorm(&scaled, &[1.0; 16], 0.0).unwrap();
+        a.assert_close(&b, 1e-4);
+    }
+}

@@ -1,0 +1,109 @@
+//! Rotary positional embeddings (RoPE).
+
+use crate::{Result, Tensor, TensorError};
+
+/// Apply rotary embeddings in place to a `[seq, heads * head_dim]`
+/// tensor, where each head's vector is rotated pairwise.
+///
+/// `pos_offset` is the absolute position of the first row — during
+/// decode this is the current KV-cache length.
+pub fn apply_rope(
+    x: &mut Tensor,
+    heads: usize,
+    head_dim: usize,
+    pos_offset: usize,
+    theta: f32,
+) -> Result<()> {
+    let (seq, width) = x.matrix_dims()?;
+    if width != heads * head_dim {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("rope width {width} vs {heads} heads x {head_dim}"),
+        });
+    }
+    if !head_dim.is_multiple_of(2) {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("rope head_dim {head_dim} must be even"),
+        });
+    }
+    let half = head_dim / 2;
+    let data = x.data_mut();
+    for s in 0..seq {
+        let pos = (pos_offset + s) as f32;
+        for h in 0..heads {
+            let base = s * width + h * head_dim;
+            for i in 0..half {
+                let freq = theta.powf(-2.0 * i as f32 / head_dim as f32);
+                let angle = pos * freq;
+                let (sin, cos) = angle.sin_cos();
+                let a = data[base + 2 * i];
+                let b = data[base + 2 * i + 1];
+                data[base + 2 * i] = a * cos - b * sin;
+                data[base + 2 * i + 1] = a * sin + b * cos;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::WeightRng;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let orig = WeightRng::new(40).uniform("x", &[1, 8], 1.0).unwrap();
+        let mut x = orig.clone();
+        apply_rope(&mut x, 2, 4, 0, 10000.0).unwrap();
+        x.assert_close(&orig, 1e-6);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let orig = WeightRng::new(41).uniform("x", &[3, 16], 1.0).unwrap();
+        let mut x = orig.clone();
+        apply_rope(&mut x, 2, 8, 5, 10000.0).unwrap();
+        let n0: f32 = orig.data().iter().map(|v| v * v).sum();
+        let n1: f32 = x.data().iter().map(|v| v * v).sum();
+        assert!((n0 - n1).abs() / n0 < 1e-4);
+    }
+
+    #[test]
+    fn offset_matches_shifted_sequence() {
+        // Rotating row s with offset p must equal rotating row 0 with
+        // offset p+s — the property that makes decode-time RoPE correct.
+        let base = WeightRng::new(42).uniform("x", &[2, 8], 1.0).unwrap();
+        let mut seq = base.clone();
+        apply_rope(&mut seq, 1, 8, 7, 10000.0).unwrap();
+
+        let mut row1 = base.slice_rows(1, 2).unwrap();
+        apply_rope(&mut row1, 1, 8, 8, 10000.0).unwrap();
+        seq.slice_rows(1, 2).unwrap().assert_close(&row1, 1e-6);
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        let mut x = Tensor::zeros(&[1, 8]);
+        assert!(apply_rope(&mut x, 3, 4, 0, 10000.0).is_err());
+        let mut odd = Tensor::zeros(&[1, 6]);
+        assert!(apply_rope(&mut odd, 2, 3, 0, 10000.0).is_err());
+    }
+
+    #[test]
+    fn relative_angle_property() {
+        // Dot product between q at pos i and k at pos j depends only on
+        // i - j (per 2-D pair) — the core RoPE property.
+        let v = WeightRng::new(43).uniform("v", &[1, 4], 1.0).unwrap();
+        let dot = |a: &Tensor, b: &Tensor| -> f32 {
+            a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum()
+        };
+        let rot = |pos: usize| {
+            let mut t = v.clone();
+            apply_rope(&mut t, 1, 4, pos, 100.0).unwrap();
+            t
+        };
+        let d1 = dot(&rot(3), &rot(5));
+        let d2 = dot(&rot(10), &rot(12));
+        assert!((d1 - d2).abs() < 1e-4, "{d1} vs {d2}");
+    }
+}

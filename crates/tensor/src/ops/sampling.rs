@@ -1,0 +1,130 @@
+//! Token sampling from logits.
+
+use rand::Rng;
+
+use crate::{Result, Tensor, TensorError};
+
+/// Greedy sampling: index of the maximum logit (ties → lowest index).
+pub fn argmax(logits: &[f32]) -> Option<u32> {
+    if logits.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    Some(best as u32)
+}
+
+/// Top-k sampling with temperature.
+///
+/// Keeps the `k` highest logits, applies temperature-scaled softmax and
+/// samples from the resulting distribution. `temperature == 0` falls
+/// back to greedy argmax.
+pub fn sample_top_k<R: Rng>(
+    logits: &Tensor,
+    k: usize,
+    temperature: f32,
+    rng: &mut R,
+) -> Result<u32> {
+    let data = logits.data();
+    if data.is_empty() || k == 0 {
+        return Err(TensorError::OutOfBounds {
+            context: "sampling from empty logits".into(),
+        });
+    }
+    if temperature <= 0.0 {
+        return Ok(argmax(data).expect("non-empty"));
+    }
+    // Partial select of the top-k indices.
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let k = k.min(data.len());
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        data[b]
+            .partial_cmp(&data[a])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+
+    let max = idx
+        .iter()
+        .map(|&i| data[i])
+        .fold(f32::NEG_INFINITY, f32::max);
+    let weights: Vec<f32> = idx
+        .iter()
+        .map(|&i| ((data[i] - max) / temperature).exp())
+        .collect();
+    let total: f32 = weights.iter().sum();
+    let mut point = rng.gen_range(0.0..total);
+    for (w, &i) in weights.iter().zip(&idx) {
+        if point < *w {
+            return Ok(i as u32);
+        }
+        point -= w;
+    }
+    Ok(*idx.last().expect("k >= 1") as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), Some(1));
+        assert_eq!(argmax(&[3.0, 3.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn zero_temperature_is_greedy() {
+        let logits = Tensor::from_vec(vec![0.0, 5.0, 1.0], &[1, 3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_top_k(&logits, 3, 0.0, &mut rng).unwrap(), 1);
+    }
+
+    #[test]
+    fn top_1_is_greedy_at_any_temperature() {
+        let logits = Tensor::from_vec(vec![0.0, 5.0, 1.0, 4.9], &[1, 4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            assert_eq!(sample_top_k(&logits, 1, 1.5, &mut rng).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_top_k() {
+        let logits = Tensor::from_vec(vec![10.0, 9.0, 8.0, -50.0, -60.0], &[1, 5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let t = sample_top_k(&logits, 3, 1.0, &mut rng).unwrap();
+            assert!(t <= 2, "sampled {t} outside top-3");
+        }
+    }
+
+    #[test]
+    fn distribution_respects_weights() {
+        // With two equal logits in top-2, both should be sampled.
+        let logits = Tensor::from_vec(vec![1.0, 1.0, -10.0], &[1, 3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [0u32; 2];
+        for _ in 0..200 {
+            let t = sample_top_k(&logits, 2, 1.0, &mut rng).unwrap() as usize;
+            seen[t] += 1;
+        }
+        assert!(seen[0] > 40 && seen[1] > 40, "unbalanced: {seen:?}");
+    }
+
+    #[test]
+    fn empty_or_zero_k_rejected() {
+        let logits = Tensor::from_vec(vec![1.0], &[1, 1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sample_top_k(&logits, 0, 1.0, &mut rng).is_err());
+        let empty = Tensor::from_vec(vec![], &[1, 0]).unwrap();
+        assert!(sample_top_k(&empty, 1, 1.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-row symmetric INT8 quantization.
+//!
+//! This is the scheme the INT-only NPU paths of comparator frameworks
+//! use for *both* activations and weights (Table 2). Unlike W4A16 it
+//! changes computation results, which is why the paper avoids it; the
+//! accuracy-delta tests in this crate quantify that difference.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DType, Result, Tensor, TensorError};
+
+/// A `[rows, cols]` matrix stored as per-row symmetric INT8.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Int8Matrix {
+    rows: usize,
+    cols: usize,
+    values: Vec<i8>,
+    /// One scale per row.
+    scales: Vec<f32>,
+}
+
+impl Int8Matrix {
+    /// Quantize a FP32 matrix row-wise.
+    pub fn quantize(x: &Tensor) -> Result<Self> {
+        let (rows, cols) = x.matrix_dims()?;
+        let mut values = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = x.row(r)?;
+            let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+            scales[r] = scale;
+            for (c, &v) in row.iter().enumerate() {
+                values[r * cols + c] = (v / scale).round().clamp(-128.0, 127.0) as i8;
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            values,
+            scales,
+        })
+    }
+
+    /// Matrix dimensions `[rows, cols]`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Storage footprint in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() + self.scales.len() * core::mem::size_of::<f32>()
+    }
+
+    /// The storage dtype (always INT8).
+    pub fn dtype(&self) -> DType {
+        DType::Int8
+    }
+
+    /// Dequantize back to FP32.
+    pub fn dequantize(&self) -> Result<Tensor> {
+        let mut data = vec![0.0f32; self.rows * self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                data[r * self.cols + c] =
+                    f32::from(self.values[r * self.cols + c]) * self.scales[r];
+            }
+        }
+        Tensor::from_vec(data, &[self.rows, self.cols])
+    }
+
+    /// Integer GEMM `self [m,k] x other [k,n]`, accumulating in i32 and
+    /// rescaling at the end — the INT8 NPU computation path.
+    ///
+    /// `other` must be quantized per-row as well, so its rows correspond
+    /// to the reduction dimension; its per-row scales fold into the dot
+    /// products exactly.
+    pub fn matmul_int8(&self, other: &Int8Matrix) -> Result<Tensor> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "int8 matmul [{},{}] x [{},{}]",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                // Per-row scales of `other` vary along k, so the rescale
+                // cannot be hoisted entirely: accumulate per other-row.
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    let a = i32::from(self.values[i * k + p]);
+                    let b = i32::from(other.values[p * n + j]);
+                    acc += (a * b) as f32 * other.scales[p];
+                }
+                out[i * n + j] = acc * self.scales[i];
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::rng::WeightRng;
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let x = WeightRng::new(5).uniform("x", &[8, 32], 2.0).unwrap();
+        let q = Int8Matrix::quantize(&x).unwrap();
+        let back = q.dequantize().unwrap();
+        // Error ≤ scale/2 = (2/127)/2.
+        assert!(x.max_abs_diff(&back).unwrap() <= 2.0 / 127.0 / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn int8_matmul_close_to_f32() {
+        let rng = WeightRng::new(6);
+        let a = rng.uniform("a", &[4, 16], 1.0).unwrap();
+        let b = rng.uniform("b", &[16, 4], 1.0).unwrap();
+        let qa = Int8Matrix::quantize(&a).unwrap();
+        let qb = Int8Matrix::quantize(&b).unwrap();
+        let approx = qa.matmul_int8(&qb).unwrap();
+        let exact = ops::matmul(&a, &b).unwrap();
+        // Close but NOT exact — quantized compute differs from FP.
+        let diff = exact.max_abs_diff(&approx).unwrap();
+        assert!(diff > 0.0, "int8 matmul should not be bit-exact");
+        assert!(diff < 0.2, "int8 matmul error too large: {diff}");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Int8Matrix::quantize(&Tensor::zeros(&[2, 3])).unwrap();
+        let b = Int8Matrix::quantize(&Tensor::zeros(&[4, 2])).unwrap();
+        assert!(a.matmul_int8(&b).is_err());
+    }
+
+    #[test]
+    fn storage_bytes() {
+        let q = Int8Matrix::quantize(&Tensor::zeros(&[10, 20])).unwrap();
+        assert_eq!(q.storage_bytes(), 10 * 20 + 10 * 4);
+        assert_eq!(q.dtype(), DType::Int8);
+    }
+
+    #[test]
+    fn zero_rows_stable() {
+        let x = Tensor::zeros(&[3, 5]);
+        let q = Int8Matrix::quantize(&x).unwrap();
+        assert_eq!(q.dequantize().unwrap(), x);
+    }
+}

@@ -1,0 +1,16 @@
+//! Quantized weight storage.
+//!
+//! HeteroLLM uses **W4A16** quantization (§5.1, §6): weights are stored
+//! as 4-bit integers with group-wise FP scales and dequantized to
+//! floating point for computation, so inference accuracy matches the
+//! FP model. [`w4a16::W4Matrix`] implements exactly that scheme.
+//! [`int8::Int8Matrix`] implements the per-row symmetric INT8 scheme
+//! used by the INT-only NPU paths of the comparator frameworks
+//! (Table 2), which *does* change results — a property the accuracy
+//! tests in this crate demonstrate.
+
+pub mod int8;
+pub mod w4a16;
+
+pub use int8::Int8Matrix;
+pub use w4a16::W4Matrix;

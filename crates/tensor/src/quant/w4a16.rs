@@ -1,0 +1,270 @@
+//! W4A16 group quantization.
+//!
+//! Weights of a `[k, n]` matrix are quantized to signed 4-bit integers
+//! in groups of `group_size` consecutive elements *along the reduction
+//! dimension* (`k`), one FP32 scale per `(group, column)`. Computation
+//! dequantizes back to floating point — the "A16" half of W4A16 — so
+//! activations are never quantized and accuracy is preserved (§6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DType, Result, Tensor, TensorError};
+
+/// Default quantization group size used across the system.
+pub const DEFAULT_GROUP_SIZE: usize = 64;
+
+/// A `[k, n]` weight matrix stored as group-quantized INT4.
+///
+/// Two 4-bit values are packed per byte (low nibble first). Values are
+/// symmetric signed in `[-8, 7]` with a per-group-per-column scale.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_tensor::quant::W4Matrix;
+/// use hetero_tensor::Tensor;
+///
+/// let w = Tensor::from_vec(vec![0.5, -0.25, 1.0, 0.0], &[2, 2]).unwrap();
+/// let q = W4Matrix::quantize(&w, 2).unwrap();
+/// let back = q.dequantize().unwrap();
+/// assert!(w.max_abs_diff(&back).unwrap() < 0.1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct W4Matrix {
+    k: usize,
+    n: usize,
+    group_size: usize,
+    /// Packed nibbles, column-grouped: for each column `c`, for each
+    /// group `g`, `group_size` values along `k` (two per byte).
+    packed: Vec<u8>,
+    /// Scales indexed `[group][column]`, flattened row-major.
+    scales: Vec<f32>,
+}
+
+impl W4Matrix {
+    /// Quantize a `[k, n]` FP32 matrix.
+    ///
+    /// `k` must be divisible by `group_size`.
+    pub fn quantize(weight: &Tensor, group_size: usize) -> Result<Self> {
+        let (k, n) = weight.matrix_dims()?;
+        if group_size == 0 {
+            return Err(TensorError::InvalidQuantization {
+                context: "group size 0".into(),
+            });
+        }
+        if !k.is_multiple_of(group_size) {
+            return Err(TensorError::InvalidQuantization {
+                context: format!("k={k} not divisible by group size {group_size}"),
+            });
+        }
+        let groups = k / group_size;
+        let mut scales = vec![0.0f32; groups * n];
+        let total = k * n;
+        let mut nibbles = vec![0u8; total];
+        let data = weight.data();
+
+        for c in 0..n {
+            for g in 0..groups {
+                // Max-abs over the group for symmetric scaling.
+                let mut max_abs = 0.0f32;
+                for r in g * group_size..(g + 1) * group_size {
+                    max_abs = max_abs.max(data[r * n + c].abs());
+                }
+                let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 7.0 };
+                scales[g * n + c] = scale;
+                for r in g * group_size..(g + 1) * group_size {
+                    let q = (data[r * n + c] / scale).round().clamp(-8.0, 7.0) as i8;
+                    nibbles[r * n + c] = (q as u8) & 0x0f;
+                }
+            }
+        }
+
+        // Pack two nibbles per byte in flat [k, n] order.
+        let mut packed = vec![0u8; total.div_ceil(2)];
+        for (i, nib) in nibbles.iter().enumerate() {
+            if i % 2 == 0 {
+                packed[i / 2] = *nib;
+            } else {
+                packed[i / 2] |= *nib << 4;
+            }
+        }
+
+        Ok(Self {
+            k,
+            n,
+            group_size,
+            packed,
+            scales,
+        })
+    }
+
+    /// Matrix dimensions `[k, n]`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// The quantization group size.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Storage footprint in bytes (packed weights + scales).
+    pub fn storage_bytes(&self) -> usize {
+        self.packed.len() + self.scales.len() * core::mem::size_of::<f32>()
+    }
+
+    /// The storage dtype (always INT4).
+    pub fn dtype(&self) -> DType {
+        DType::Int4
+    }
+
+    fn nibble(&self, flat: usize) -> i8 {
+        let byte = self.packed[flat / 2];
+        let raw = if flat.is_multiple_of(2) {
+            byte & 0x0f
+        } else {
+            byte >> 4
+        };
+        // Sign-extend the 4-bit value.
+        ((raw << 4) as i8) >> 4
+    }
+
+    /// Dequantized element at `[r, c]`.
+    pub fn get(&self, r: usize, c: usize) -> Result<f32> {
+        if r >= self.k || c >= self.n {
+            return Err(TensorError::OutOfBounds {
+                context: format!("[{r},{c}] of [{},{}]", self.k, self.n),
+            });
+        }
+        let g = r / self.group_size;
+        Ok(f32::from(self.nibble(r * self.n + c)) * self.scales[g * self.n + c])
+    }
+
+    /// Dequantize the whole matrix to FP32.
+    pub fn dequantize(&self) -> Result<Tensor> {
+        let mut data = vec![0.0f32; self.k * self.n];
+        for r in 0..self.k {
+            let g = r / self.group_size;
+            for c in 0..self.n {
+                data[r * self.n + c] =
+                    f32::from(self.nibble(r * self.n + c)) * self.scales[g * self.n + c];
+            }
+        }
+        Tensor::from_vec(data, &[self.k, self.n])
+    }
+
+    /// Dequantize columns `[start, end)` to FP32 — used when a weight is
+    /// partitioned along the output-feature (row-cut) dimension.
+    pub fn dequantize_cols(&self, start: usize, end: usize) -> Result<Tensor> {
+        if start >= end || end > self.n {
+            return Err(TensorError::OutOfBounds {
+                context: format!("cols {start}..{end} of {}", self.n),
+            });
+        }
+        let width = end - start;
+        let mut data = vec![0.0f32; self.k * width];
+        for r in 0..self.k {
+            let g = r / self.group_size;
+            for (i, c) in (start..end).enumerate() {
+                data[r * width + i] =
+                    f32::from(self.nibble(r * self.n + c)) * self.scales[g * self.n + c];
+            }
+        }
+        Tensor::from_vec(data, &[self.k, width])
+    }
+
+    /// Worst-case absolute quantization error for this matrix: half an
+    /// INT4 step at the largest per-group scale.
+    pub fn error_bound(&self) -> f32 {
+        0.5 * self.scales.iter().copied().fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::WeightRng;
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let w = WeightRng::new(1).uniform("w", &[64, 16], 1.0).unwrap();
+        let q = W4Matrix::quantize(&w, 32).unwrap();
+        let back = q.dequantize().unwrap();
+        let diff = w.max_abs_diff(&back).unwrap();
+        assert!(
+            diff <= q.error_bound() + 1e-6,
+            "diff={diff} bound={}",
+            q.error_bound()
+        );
+        // For unit-scale weights the bound is scale/2 = (1/7)/2 ≈ 0.0714…
+        assert!(diff <= 1.0 / 7.0 / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn exact_values_survive() {
+        // Values that are exact multiples of max/7 quantize losslessly.
+        let vals: Vec<f32> = (0..32).map(|i| (i % 15) as f32 - 7.0).collect();
+        let w = Tensor::from_vec(vals, &[32, 1]).unwrap();
+        let q = W4Matrix::quantize(&w, 32).unwrap();
+        let back = q.dequantize().unwrap();
+        assert!(w.max_abs_diff(&back).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn zero_group_is_stable() {
+        let w = Tensor::zeros(&[64, 4]);
+        let q = W4Matrix::quantize(&w, 64).unwrap();
+        assert_eq!(q.dequantize().unwrap(), w);
+    }
+
+    #[test]
+    fn storage_is_roughly_half_byte_per_weight() {
+        let w = WeightRng::new(2).uniform("w", &[128, 128], 1.0).unwrap();
+        let q = W4Matrix::quantize(&w, 64).unwrap();
+        let weights_bytes = 128 * 128 / 2;
+        let scale_bytes = (128 / 64) * 128 * 4;
+        assert_eq!(q.storage_bytes(), weights_bytes + scale_bytes);
+        assert_eq!(q.dtype(), DType::Int4);
+    }
+
+    #[test]
+    fn invalid_group_sizes_rejected() {
+        let w = Tensor::zeros(&[10, 4]);
+        assert!(W4Matrix::quantize(&w, 0).is_err());
+        assert!(W4Matrix::quantize(&w, 3).is_err());
+    }
+
+    #[test]
+    fn get_matches_dequantize() {
+        let w = WeightRng::new(3).uniform("w", &[64, 8], 0.5).unwrap();
+        let q = W4Matrix::quantize(&w, 16).unwrap();
+        let full = q.dequantize().unwrap();
+        for r in [0, 13, 63] {
+            for c in [0, 7] {
+                assert_eq!(q.get(r, c).unwrap(), full.at(&[r, c]).unwrap());
+            }
+        }
+        assert!(q.get(64, 0).is_err());
+    }
+
+    #[test]
+    fn dequantize_cols_matches_slice() {
+        let w = WeightRng::new(4).uniform("w", &[32, 12], 1.0).unwrap();
+        let q = W4Matrix::quantize(&w, 8).unwrap();
+        let full = q.dequantize().unwrap();
+        let part = q.dequantize_cols(3, 9).unwrap();
+        assert_eq!(part, full.slice_cols(3, 9).unwrap());
+        assert!(q.dequantize_cols(9, 3).is_err());
+        assert!(q.dequantize_cols(0, 13).is_err());
+    }
+
+    #[test]
+    fn negative_extreme_packs_correctly() {
+        // -8 is representable; +8 is not and must clamp to 7 steps.
+        let w = Tensor::from_vec(vec![-8.0, 7.0, 1.0, -1.0], &[4, 1]).unwrap();
+        let q = W4Matrix::quantize(&w, 4).unwrap();
+        let back = q.dequantize().unwrap();
+        // Scale = 8/7; -8 → q=-7 exactly? -8/(8/7) = -7 → representable.
+        assert!((back.at(&[0, 0]).unwrap() - -8.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,278 @@
+//! Tensor shapes.
+//!
+//! The engine is 2-D-centric — LLM inference is a sequence of GEMMs on
+//! `[seq, hidden]`-shaped activations — but shapes support arbitrary
+//! rank for embedding tables, KV caches and attention score tensors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TensorError};
+
+/// The shape (dimension sizes) of a tensor, row-major.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// A scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Self { dims: Vec::new() }
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `i`.
+    pub fn dim(&self, i: usize) -> Result<usize> {
+        self.dims
+            .get(i)
+            .copied()
+            .ok_or_else(|| TensorError::OutOfBounds {
+                context: format!("dimension {i} of rank-{} shape", self.rank()),
+            })
+    }
+
+    /// Interpret as a matrix `[rows, cols]`.
+    pub fn as_matrix(&self) -> Result<(usize, usize)> {
+        match self.dims.as_slice() {
+            [r, c] => Ok((*r, *c)),
+            _ => Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            }),
+        }
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flatten a multi-dimensional index into a linear offset.
+    pub fn linear_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                actual: index.len(),
+            });
+        }
+        let mut offset = 0;
+        for ((&i, &d), s) in index.iter().zip(&self.dims).zip(self.strides()) {
+            if i >= d {
+                return Err(TensorError::OutOfBounds {
+                    context: format!("index {i} into dimension of size {d}"),
+                });
+            }
+            offset += i * s;
+        }
+        Ok(offset)
+    }
+
+    /// Whether two shapes are identical.
+    pub fn same_as(&self, other: &Self) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Self::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Self::new(&dims)
+    }
+}
+
+impl core::fmt::Display for Shape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The shape of one matrix-multiplication problem, `[m, k] x [k, n]`.
+///
+/// This is the unit the profiler measures and the solver partitions. By
+/// convention `m` is the *sequence* dimension of the activation, `k` the
+/// reduction (hidden) dimension, and `n` the output-feature dimension of
+/// the weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatmulShape {
+    /// Rows of the left operand (sequence length in LLM workloads).
+    pub m: usize,
+    /// Shared reduction dimension.
+    pub k: usize,
+    /// Columns of the right operand (output features).
+    pub n: usize,
+}
+
+impl MatmulShape {
+    /// Create a matmul problem shape.
+    pub const fn new(m: usize, k: usize, n: usize) -> Self {
+        Self { m, k, n }
+    }
+
+    /// Floating point operations of this problem (`2*m*k*n`).
+    pub const fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// Bytes touched assuming the given activation and weight dtypes and
+    /// f32-equivalent output width `out_bits`.
+    pub const fn bytes(&self, act_bits: usize, weight_bits: usize, out_bits: usize) -> u64 {
+        let a = self.m as u64 * self.k as u64 * act_bits as u64 / 8;
+        let w = self.k as u64 * self.n as u64 * weight_bits as u64 / 8;
+        let o = self.m as u64 * self.n as u64 * out_bits as u64 / 8;
+        a + w + o
+    }
+
+    /// The reversed problem `[n, k] x [k, m]` — the order the paper's
+    /// §4 permutes *into* to exploit NPU weight-stall computation.
+    pub const fn reversed(&self) -> Self {
+        Self {
+            m: self.n,
+            k: self.k,
+            n: self.m,
+        }
+    }
+
+    /// Split along `m` (the sequence dimension) into `(head, tail)`.
+    pub fn split_m(&self, head_m: usize) -> Result<(Self, Self)> {
+        if head_m == 0 || head_m >= self.m {
+            return Err(TensorError::OutOfBounds {
+                context: format!("split_m at {head_m} of m={}", self.m),
+            });
+        }
+        Ok((
+            Self { m: head_m, ..*self },
+            Self {
+                m: self.m - head_m,
+                ..*self
+            },
+        ))
+    }
+
+    /// Split along `n` (the output-feature dimension) into `(head, tail)`.
+    pub fn split_n(&self, head_n: usize) -> Result<(Self, Self)> {
+        if head_n == 0 || head_n >= self.n {
+            return Err(TensorError::OutOfBounds {
+                context: format!("split_n at {head_n} of n={}", self.n),
+            });
+        }
+        Ok((
+            Self { n: head_n, ..*self },
+            Self {
+                n: self.n - head_n,
+                ..*self
+            },
+        ))
+    }
+}
+
+impl core::fmt::Display for MatmulShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{},{}]x[{},{}]", self.m, self.k, self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn linear_index() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.linear_index(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.linear_index(&[1, 2]).unwrap(), 5);
+        assert!(s.linear_index(&[2, 0]).is_err());
+        assert!(s.linear_index(&[0]).is_err());
+    }
+
+    #[test]
+    fn as_matrix() {
+        assert_eq!(Shape::new(&[4, 5]).as_matrix().unwrap(), (4, 5));
+        assert!(Shape::new(&[4]).as_matrix().is_err());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+    }
+
+    #[test]
+    fn matmul_shape_flops_bytes() {
+        let s = MatmulShape::new(4, 8, 2);
+        assert_eq!(s.flops(), 2 * 4 * 8 * 2);
+        // f16 activation, int4 weight, f16 output.
+        assert_eq!(s.bytes(16, 4, 16), 4 * 8 * 2 + 8 * 2 / 2 + 4 * 2 * 2);
+    }
+
+    #[test]
+    fn matmul_shape_splits() {
+        let s = MatmulShape::new(300, 4096, 4096);
+        let (a, b) = s.split_m(256).unwrap();
+        assert_eq!((a.m, b.m), (256, 44));
+        assert_eq!(a.k, 4096);
+        let (c, d) = s.split_n(1024).unwrap();
+        assert_eq!((c.n, d.n), (1024, 3072));
+        assert!(s.split_m(0).is_err());
+        assert!(s.split_m(300).is_err());
+    }
+
+    #[test]
+    fn matmul_shape_reversed() {
+        let s = MatmulShape::new(128, 4096, 14336);
+        let r = s.reversed();
+        assert_eq!((r.m, r.k, r.n), (14336, 4096, 128));
+        assert_eq!(s.flops(), r.flops());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(MatmulShape::new(1, 2, 3).to_string(), "[1,2]x[2,3]");
+    }
+}

@@ -1,0 +1,66 @@
+//! Prompt-length workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The aligned sequence lengths of Fig. 13 (all are pre-compiled
+/// standard NPU graph sizes).
+pub fn aligned_sweep() -> Vec<usize> {
+    vec![64, 256, 1024]
+}
+
+/// The misaligned lengths of Fig. 14: none is a power of two, spanning
+/// small (graph-generation-dominated) to near-maximum.
+pub fn misaligned_sweep() -> Vec<usize> {
+    vec![135, 300, 450, 525, 700, 850, 1000]
+}
+
+/// A seeded stream of request lengths in `[min, max]`, for mixed /
+/// soak workloads.
+pub fn random_lengths(seed: u64, count: usize, min: usize, max: usize) -> Vec<usize> {
+    assert!(min >= 1 && max >= min, "invalid range {min}..={max}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(min..=max)).collect()
+}
+
+/// Whether a length aligns with a standard graph size.
+pub fn is_aligned(len: usize, standards: &[usize]) -> bool {
+    standards.contains(&len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_soc::calib::STANDARD_GRAPH_SIZES;
+
+    #[test]
+    fn aligned_sweep_is_standard() {
+        for len in aligned_sweep() {
+            assert!(is_aligned(len, &STANDARD_GRAPH_SIZES), "{len}");
+        }
+    }
+
+    #[test]
+    fn misaligned_sweep_is_not_standard() {
+        for len in misaligned_sweep() {
+            assert!(!is_aligned(len, &STANDARD_GRAPH_SIZES), "{len}");
+            assert!(!len.is_power_of_two(), "{len}");
+        }
+    }
+
+    #[test]
+    fn random_lengths_deterministic_and_bounded() {
+        let a = random_lengths(1, 50, 10, 500);
+        let b = random_lengths(1, 50, 10, 500);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&l| (10..=500).contains(&l)));
+        let c = random_lengths(2, 50, 10, 500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn random_lengths_validates_range() {
+        random_lengths(1, 1, 10, 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Speculative-decoding workload model (§4.1.2).
+//!
+//! In speculative decoding the target model verifies `n` draft tokens
+//! per step instead of generating one, so the decode-phase matmuls see
+//! sequence length `n` — still a pre-generatable static NPU graph. The
+//! acceptance model determines how many verified tokens each step
+//! yields.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a speculative decoding session.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpecDecodeConfig {
+    /// Draft tokens proposed per step.
+    pub draft_len: usize,
+    /// Probability each draft token is accepted (i.i.d. model).
+    pub acceptance: f64,
+}
+
+impl SpecDecodeConfig {
+    /// Expected tokens committed per verification step: accepted prefix
+    /// length plus the one token the target model always produces.
+    pub fn expected_tokens_per_step(&self) -> f64 {
+        // E[prefix] = Σ_{i=1..n} p^i ; +1 for the bonus token.
+        let p = self.acceptance.clamp(0.0, 1.0);
+        let mut e = 0.0;
+        let mut pi = 1.0;
+        for _ in 0..self.draft_len {
+            pi *= p;
+            e += pi;
+        }
+        e + 1.0
+    }
+}
+
+/// One simulated verification step outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecStep {
+    /// Tokens committed by this step (1..=draft_len+1).
+    pub committed: usize,
+}
+
+/// Generate a seeded sequence of verification steps totalling at least
+/// `target_tokens` committed tokens.
+pub fn simulate_steps(cfg: SpecDecodeConfig, target_tokens: usize, seed: u64) -> Vec<SpecStep> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = Vec::new();
+    let mut total = 0;
+    while total < target_tokens {
+        let mut committed = 1; // bonus token
+        for _ in 0..cfg.draft_len {
+            if rng.gen_bool(cfg.acceptance.clamp(0.0, 1.0)) {
+                committed += 1;
+            } else {
+                break;
+            }
+        }
+        total += committed;
+        steps.push(SpecStep { committed });
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_tokens_closed_form() {
+        let cfg = SpecDecodeConfig {
+            draft_len: 4,
+            acceptance: 0.0,
+        };
+        assert!((cfg.expected_tokens_per_step() - 1.0).abs() < 1e-9);
+        let sure = SpecDecodeConfig {
+            draft_len: 4,
+            acceptance: 1.0,
+        };
+        assert!((sure.expected_tokens_per_step() - 5.0).abs() < 1e-9);
+        let half = SpecDecodeConfig {
+            draft_len: 2,
+            acceptance: 0.5,
+        };
+        // 0.5 + 0.25 + 1 = 1.75.
+        assert!((half.expected_tokens_per_step() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_reaches_target() {
+        let cfg = SpecDecodeConfig {
+            draft_len: 4,
+            acceptance: 0.7,
+        };
+        let steps = simulate_steps(cfg, 100, 42);
+        let total: usize = steps.iter().map(|s| s.committed).sum();
+        assert!(total >= 100);
+        assert!(steps.iter().all(|s| (1..=5).contains(&s.committed)));
+    }
+
+    #[test]
+    fn simulation_matches_expectation_statistically() {
+        let cfg = SpecDecodeConfig {
+            draft_len: 4,
+            acceptance: 0.7,
+        };
+        let steps = simulate_steps(cfg, 5000, 1);
+        let total: usize = steps.iter().map(|s| s.committed).sum();
+        let mean = total as f64 / steps.len() as f64;
+        let expected = cfg.expected_tokens_per_step();
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SpecDecodeConfig {
+            draft_len: 3,
+            acceptance: 0.5,
+        };
+        assert_eq!(simulate_steps(cfg, 50, 9), simulate_steps(cfg, 50, 9));
+    }
+}

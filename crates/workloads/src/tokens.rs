@@ -1,0 +1,36 @@
+//! Deterministic token streams for functional-mode runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded prompt of `len` tokens drawn uniformly from `[0, vocab)`.
+pub fn random_prompt(seed: u64, len: usize, vocab: usize) -> Vec<u32> {
+    assert!(vocab > 0, "empty vocabulary");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..vocab as u32)).collect()
+}
+
+/// A repetitive prompt (cycling over a small token set) — useful for
+/// KV-cache tests where attention should latch onto repeats.
+pub fn cyclic_prompt(len: usize, period: usize, vocab: usize) -> Vec<u32> {
+    assert!(period > 0 && vocab > 0);
+    (0..len).map(|i| (i % period.min(vocab)) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_prompt_deterministic() {
+        assert_eq!(random_prompt(3, 16, 100), random_prompt(3, 16, 100));
+        assert_ne!(random_prompt(3, 16, 100), random_prompt(4, 16, 100));
+        assert!(random_prompt(3, 64, 10).iter().all(|&t| t < 10));
+    }
+
+    #[test]
+    fn cyclic_prompt_repeats() {
+        let p = cyclic_prompt(8, 3, 100);
+        assert_eq!(p, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+}

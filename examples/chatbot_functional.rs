@@ -1,0 +1,67 @@
+//! Functional-mode chatbot: real W4A16 math on a scaled-down model.
+//!
+//! Demonstrates the correctness layer of the reproduction: tokens are
+//! actually computed (embedding → decoder layers → sampling), and the
+//! tensor-partition strategies of the heterogeneous engine are shown to
+//! be numerically identical to monolithic execution.
+//!
+//! ```sh
+//! cargo run --release --example chatbot_functional
+//! ```
+
+use heterollm_suite::engine::functional::{matmul_partitioned, FunctionalModel};
+use heterollm_suite::engine::ModelConfig;
+use heterollm_suite::solver::PartitionPlan;
+use heterollm_suite::tensor::ops;
+use heterollm_suite::tensor::quant::W4Matrix;
+use heterollm_suite::tensor::rng::WeightRng;
+use heterollm_suite::workloads::tokens::random_prompt;
+
+fn main() {
+    // A small but architecturally complete model (GQA, SwiGLU, RoPE).
+    let cfg = ModelConfig::tiny();
+    let mut model = FunctionalModel::new(cfg.clone(), 2024).expect("model builds");
+
+    let prompt = random_prompt(7, 12, cfg.vocab);
+    println!("prompt tokens: {prompt:?}");
+
+    let generated = model.generate(&prompt, 16).expect("generation succeeds");
+    println!("generated:     {generated:?}");
+    println!("context length after generation: {}", model.context_len());
+
+    // Re-running with the same seed reproduces the exact same tokens.
+    let mut replay = FunctionalModel::new(cfg.clone(), 2024).expect("model builds");
+    let again = replay.generate(&prompt, 16).expect("generation succeeds");
+    assert_eq!(generated, again, "W4A16 inference is deterministic");
+    println!("determinism check: identical tokens on replay");
+
+    // Partition-equivalence demo: the heterogeneous engine may split
+    // any weight Matmul across GPU and NPU; the merged result is
+    // bit-identical to the monolithic product.
+    let rng = WeightRng::new(5);
+    let x = rng.uniform("acts", &[48, 64], 1.0).expect("activations");
+    let w = W4Matrix::quantize(&rng.uniform("w", &[64, 96], 0.3).expect("weights"), 32)
+        .expect("quantizes");
+    let whole = ops::matmul_w4(&x, &w).expect("matmul");
+    for plan in [
+        PartitionPlan::RowCut {
+            gpu_cols: 32,
+            padded_m: 48,
+        },
+        PartitionPlan::SeqCut {
+            npu_chunks: vec![32],
+            gpu_rows: 16,
+        },
+        PartitionPlan::HybridCut {
+            gpu_cols: 64,
+            padded_m: 64,
+        },
+    ] {
+        let split = matmul_partitioned(&x, &w, &plan).expect("partitioned matmul");
+        assert_eq!(split.max_abs_diff(&whole).expect("same shape"), 0.0);
+        println!(
+            "partition {:<10} == monolithic result (exact)",
+            plan.label()
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Solver explorer: inspect the partition plans the tensor-partition
+//! solver chooses for every operator of a model across request shapes.
+//!
+//! ```sh
+//! cargo run --release --example solver_explorer [seq_len ...]
+//! ```
+
+use heterollm_suite::engine::ModelConfig;
+use heterollm_suite::profiler::RealExecProvider;
+use heterollm_suite::soc::sync::Dominance;
+use heterollm_suite::soc::SocConfig;
+use heterollm_suite::solver::{PartitionPlan, Solver, SolverConfig};
+use heterollm_suite::tensor::shape::MatmulShape;
+
+fn describe(plan: &PartitionPlan) -> String {
+    match plan {
+        PartitionPlan::GpuOnly => "GPU only".into(),
+        PartitionPlan::NpuOnly { padded_m } => format!("NPU only (graph m={padded_m})"),
+        PartitionPlan::NpuPipe {
+            chunks,
+            padded_rows,
+        } => {
+            format!("NPU pipe {chunks:?} (+{padded_rows} pad rows)")
+        }
+        PartitionPlan::RowCut { gpu_cols, padded_m } => {
+            format!("row-cut: GPU {gpu_cols} cols, NPU graph m={padded_m}")
+        }
+        PartitionPlan::SeqCut {
+            npu_chunks,
+            gpu_rows,
+        } => {
+            format!("seq-cut: NPU {npu_chunks:?}, GPU {gpu_rows} rows")
+        }
+        PartitionPlan::HybridCut { padded_m, gpu_cols } => {
+            format!("hybrid-cut: NPU padded to {padded_m}, GPU {gpu_cols} cols")
+        }
+    }
+}
+
+fn main() {
+    let seqs: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("sequence lengths must be integers"))
+        .collect();
+    let seqs = if seqs.is_empty() {
+        vec![64, 256, 300, 1024]
+    } else {
+        seqs
+    };
+
+    let model = ModelConfig::llama_8b();
+    let solver = Solver::new(
+        RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+        SolverConfig::default(),
+    );
+
+    println!(
+        "partition plans for {} (prefill, NPU-dominant)\n",
+        model.name
+    );
+    for seq in seqs {
+        println!("sequence length {seq}:");
+        for (name, k, n) in model.matmul_ops() {
+            let choice = solver.solve(MatmulShape::new(seq, k, n), Dominance::NpuDominant);
+            println!(
+                "  {name:<9} [{seq:>4},{k:>5}]x[{k:>5},{n:>5}]  est {:>10}  {}",
+                choice.est_time.to_string(),
+                describe(&choice.plan)
+            );
+        }
+        println!();
+    }
+
+    // Decode plans (memory-bound, bandwidth-aggregating row cuts).
+    let decode_solver = Solver::new(
+        RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+        SolverConfig::decode(1),
+    );
+    println!("decode plans (GPU-dominant, m=1):");
+    for (name, k, n) in model.matmul_ops() {
+        let choice = decode_solver.solve(MatmulShape::new(1, k, n), Dominance::GpuDominant);
+        println!(
+            "  {name:<9} est {:>10}  {}",
+            choice.est_time.to_string(),
+            describe(&choice.plan)
+        );
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the HeteroLLM reproduction suite.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can depend on a single package. See `README.md`
+//! for the architecture overview and `DESIGN.md` for the per-experiment
+//! index.
+
+pub use hetero_graph as graph;
+pub use hetero_profiler as profiler;
+pub use hetero_soc as soc;
+pub use hetero_solver as solver;
+pub use hetero_tensor as tensor;
+pub use hetero_workloads as workloads;
+pub use heterollm as engine;

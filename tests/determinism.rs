@@ -1,0 +1,89 @@
+//! Determinism and reproducibility guarantees.
+//!
+//! Every layer of the system — weights, functional inference, the
+//! simulator, the solver — must be bit-deterministic so experiment
+//! results are exactly reproducible run to run.
+
+use heterollm_suite::engine::functional::FunctionalModel;
+use heterollm_suite::engine::{EngineKind, ModelConfig};
+use heterollm_suite::profiler::RealExecProvider;
+use heterollm_suite::soc::sync::{Dominance, SyncMechanism};
+use heterollm_suite::soc::SocConfig;
+use heterollm_suite::solver::{Solver, SolverConfig};
+use heterollm_suite::tensor::shape::MatmulShape;
+use heterollm_suite::workloads::tokens::random_prompt;
+
+#[test]
+fn timing_engines_are_deterministic() {
+    let model = ModelConfig::llama_3b();
+    for kind in [
+        EngineKind::HeteroTensor,
+        EngineKind::HeteroLayer,
+        EngineKind::PplOpenCl,
+    ] {
+        let run = || {
+            let mut e = kind.build(&model, SyncMechanism::Fast);
+            let p = e.prefill(300);
+            let d = e.decode(300, 4);
+            (p.elapsed, d.elapsed)
+        };
+        assert_eq!(run(), run(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn functional_generation_is_deterministic() {
+    let cfg = ModelConfig::tiny();
+    let prompt = random_prompt(11, 10, cfg.vocab);
+    let gen = |seed| {
+        let mut m = FunctionalModel::new(cfg.clone(), seed).expect("model");
+        m.generate(&prompt, 12).expect("generation")
+    };
+    assert_eq!(gen(1), gen(1));
+    assert_ne!(
+        gen(1),
+        gen(2),
+        "different weights should generate differently"
+    );
+}
+
+#[test]
+fn solver_is_deterministic() {
+    let solve = || {
+        let s = Solver::new(
+            RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+            SolverConfig::default(),
+        );
+        s.solve(MatmulShape::new(300, 4096, 14336), Dominance::NpuDominant)
+    };
+    assert_eq!(solve(), solve());
+}
+
+#[test]
+fn decode_rate_independent_of_measurement_length() {
+    // Measuring 4 vs 12 decode tokens should give nearly the same rate
+    // (context growth adds slight attention cost).
+    let model = ModelConfig::llama_3b();
+    let rate = |n: usize| {
+        let mut e = EngineKind::HeteroTensor.build(&model, SyncMechanism::Fast);
+        e.decode(256, n).tokens_per_sec()
+    };
+    let short = rate(4);
+    let long = rate(12);
+    assert!(
+        (short / long - 1.0).abs() < 0.05,
+        "short {short} vs long {long}"
+    );
+}
+
+#[test]
+fn prefill_of_same_length_costs_same_regardless_of_history() {
+    // Engine state (graph cache warm, plan tables warm) must make
+    // repeat requests *no slower*; with everything preloaded they are
+    // identical for aligned lengths.
+    let model = ModelConfig::llama_3b();
+    let mut e = EngineKind::HeteroTensor.build(&model, SyncMechanism::Fast);
+    let first = e.prefill(256).elapsed;
+    let second = e.prefill(256).elapsed;
+    assert_eq!(first, second);
+}

@@ -1,0 +1,190 @@
+//! End-to-end assertions of the paper's headline claims, as tests.
+//!
+//! These duplicate the checks the experiment binaries print, in a form
+//! `cargo test` enforces on every change. Tolerances are loose — the
+//! substrate is a simulator — but orderings and rough factors must hold.
+
+use heterollm_suite::engine::{EngineKind, ModelConfig};
+use heterollm_suite::soc::sync::SyncMechanism;
+
+fn prefill_rate(kind: EngineKind, model: &ModelConfig, seq: usize) -> f64 {
+    let mut e = kind.build(model, SyncMechanism::Fast);
+    e.prefill(seq).tokens_per_sec()
+}
+
+fn decode_rate(kind: EngineKind, model: &ModelConfig) -> f64 {
+    let mut e = kind.build(model, SyncMechanism::Fast);
+    e.decode(256, 8).tokens_per_sec()
+}
+
+/// Abstract claim: §1 — "the first LLM engine to surpass 1000 tokens
+/// per second in prefill phase using FLOAT calculations on mobile
+/// devices for billion-scale LLMs."
+#[test]
+fn surpasses_1000_tokens_per_second_prefill() {
+    let rate = prefill_rate(EngineKind::HeteroTensor, &ModelConfig::internlm_1_8b(), 256);
+    assert!(rate > 1000.0, "InternLM-1.8B prefill {rate} tokens/s");
+}
+
+/// Abstract claim: 9.99× over MLC and 4.36× over MNN (±50%).
+#[test]
+fn headline_speedups_over_mlc_and_mnn() {
+    let model = ModelConfig::llama_8b();
+    let ht = prefill_rate(EngineKind::HeteroTensor, &model, 1024);
+    let mlc = prefill_rate(EngineKind::Mlc, &model, 1024);
+    let mnn = prefill_rate(EngineKind::MnnOpenCl, &model, 1024);
+    let vs_mlc = ht / mlc;
+    let vs_mnn = ht / mnn;
+    assert!((5.0..15.0).contains(&vs_mlc), "vs MLC: {vs_mlc}");
+    assert!((2.2..6.6).contains(&vs_mnn), "vs MNN: {vs_mnn}");
+}
+
+/// §5.2.1 — engine ordering in prefill is stable across all models and
+/// aligned lengths: Hetero-tensor ≥ Hetero-layer > PPL > {MLC, MNN} >
+/// llama.cpp.
+#[test]
+fn prefill_engine_ordering_is_stable() {
+    for model in ModelConfig::evaluation_models() {
+        for seq in [64usize, 256] {
+            let ht = prefill_rate(EngineKind::HeteroTensor, &model, seq);
+            let hl = prefill_rate(EngineKind::HeteroLayer, &model, seq);
+            let ppl = prefill_rate(EngineKind::PplOpenCl, &model, seq);
+            let mlc = prefill_rate(EngineKind::Mlc, &model, seq);
+            let cpu = prefill_rate(EngineKind::LlamaCpp, &model, seq);
+            assert!(
+                ht >= hl * 0.99,
+                "{} @{seq}: tensor {ht} < layer {hl}",
+                model.name
+            );
+            assert!(hl > ppl, "{} @{seq}", model.name);
+            assert!(ppl > mlc, "{} @{seq}", model.name);
+            assert!(mlc > cpu, "{} @{seq}", model.name);
+        }
+    }
+}
+
+/// §5.3 — decode: Hetero-tensor wins on every model; Hetero-layer ties
+/// PPL-OpenCL; llama.cpp is slowest.
+#[test]
+fn decode_engine_ordering_is_stable() {
+    for model in ModelConfig::evaluation_models() {
+        let ht = decode_rate(EngineKind::HeteroTensor, &model);
+        let hl = decode_rate(EngineKind::HeteroLayer, &model);
+        let ppl = decode_rate(EngineKind::PplOpenCl, &model);
+        let cpu = decode_rate(EngineKind::LlamaCpp, &model);
+        assert!(ht > ppl * 1.05, "{}: tensor {ht} vs ppl {ppl}", model.name);
+        assert!(
+            (hl / ppl - 1.0).abs() < 0.1,
+            "{}: layer should tie ppl",
+            model.name
+        );
+        assert!(cpu < ppl, "{}", model.name);
+    }
+}
+
+/// §5.3 — the decode gain comes from bandwidth aggregation, so it is
+/// bounded by the 59.1/43.3 bandwidth ratio.
+#[test]
+fn decode_gain_bounded_by_bandwidth_ratio() {
+    let model = ModelConfig::llama_8b();
+    let gain =
+        decode_rate(EngineKind::HeteroTensor, &model) / decode_rate(EngineKind::PplOpenCl, &model);
+    assert!(
+        gain < 59.1 / 43.3 + 0.02,
+        "gain {gain} exceeds the bandwidth ceiling"
+    );
+    assert!(gain > 1.1, "gain {gain} too small");
+}
+
+/// §5.2.2 — at misaligned lengths, Hetero-tensor beats every NPU-side
+/// strategy, and the strategies order as Online-prepare ≥ Padding >
+/// Pipe in latency (for first-time requests at moderate lengths).
+#[test]
+fn misaligned_strategy_ordering() {
+    let model = ModelConfig::llama_8b();
+    for seq in [300usize, 525] {
+        let lat = |kind: EngineKind| {
+            let mut e = kind.build(&model, SyncMechanism::Fast);
+            e.prefill(seq).elapsed.as_secs_f64()
+        };
+        let online = lat(EngineKind::NpuOnlinePrepare);
+        let pad = lat(EngineKind::NpuPadding);
+        let pipe = lat(EngineKind::NpuPipe);
+        let ht = lat(EngineKind::HeteroTensor);
+        assert!(
+            ht < pipe && pipe < pad,
+            "@{seq}: ht {ht} pipe {pipe} pad {pad}"
+        );
+        assert!(
+            online > pipe,
+            "@{seq}: online {online} should pay graph generation"
+        );
+    }
+}
+
+/// §5.4 — fast synchronization helps decode by a larger factor than
+/// prefill on every model.
+#[test]
+fn fast_sync_gain_decode_exceeds_prefill() {
+    for model in [ModelConfig::llama_8b(), ModelConfig::internlm_1_8b()] {
+        let gain = |prefill: bool| {
+            let mut fast = EngineKind::HeteroTensor.build(&model, SyncMechanism::Fast);
+            let mut slow = EngineKind::HeteroTensor.build(&model, SyncMechanism::Driver);
+            if prefill {
+                fast.prefill(256).tokens_per_sec() / slow.prefill(256).tokens_per_sec()
+            } else {
+                fast.decode(256, 4).tokens_per_sec() / slow.decode(256, 4).tokens_per_sec()
+            }
+        };
+        let p = gain(true);
+        let d = gain(false);
+        assert!(d > p, "{}: decode {d} <= prefill {p}", model.name);
+        assert!(d > 1.8, "{}: decode gain {d}", model.name);
+    }
+}
+
+/// §5.6 — power ordering: Hetero-layer < Hetero-tensor < PPL-OpenCL,
+/// and Hetero-tensor has the best energy per prompt.
+#[test]
+fn power_and_energy_ordering() {
+    let model = ModelConfig::llama_8b();
+    let run = |kind: EngineKind| {
+        let mut e = kind.build(&model, SyncMechanism::Fast);
+        e.prefill(256);
+        e.finish()
+    };
+    let ppl = run(EngineKind::PplOpenCl);
+    let layer = run(EngineKind::HeteroLayer);
+    let tensor = run(EngineKind::HeteroTensor);
+    assert!(
+        layer.avg_power_w < tensor.avg_power_w,
+        "layer should draw least power"
+    );
+    assert!(
+        tensor.avg_power_w < ppl.avg_power_w,
+        "tensor must draw less than GPU-only"
+    );
+    assert!(
+        tensor.energy_j < ppl.energy_j * 0.5,
+        "tensor energy should be ≪ PPL"
+    );
+}
+
+/// Throughput scale sanity across all four models (Fig. 13/16 bands,
+/// wide tolerances).
+#[test]
+fn absolute_rates_in_paper_bands() {
+    let cases = [
+        (ModelConfig::llama_8b(), 247.9, 14.01),
+        (ModelConfig::llama_3b(), 700.0, 29.9),
+        (ModelConfig::internlm_1_8b(), 1092.0, 51.12),
+    ];
+    for (model, _paper_prefill, paper_decode) in cases {
+        let d = decode_rate(EngineKind::HeteroTensor, &model);
+        assert!(
+            (d / paper_decode - 1.0).abs() < 0.35,
+            "{}: decode {d} vs paper {paper_decode}",
+            model.name
+        );
+    }
+}
