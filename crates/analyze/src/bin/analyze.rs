@@ -1,0 +1,143 @@
+//! Lint solver output across the paper's model configurations.
+//!
+//! For every evaluation model, the tool solves the per-layer weight
+//! Matmuls over a sweep of aligned and misaligned sequence lengths
+//! (prefill, NPU-dominant) plus the decode shape (m = 1,
+//! GPU-dominant), then runs every analyzer rule on each chosen plan.
+//!
+//! ```text
+//! analyze [--json] [--model NAME] [--mechanism fast|driver]
+//!         [--seq N,N,...] [--rules]
+//! ```
+//!
+//! Exit status: 0 when no deny-level finding, 1 otherwise, 2 on usage
+//! errors. CI gates on this.
+
+use std::process::ExitCode;
+
+use hetero_analyze::sweep::{lint_models, DEFAULT_SEQS};
+use hetero_analyze::RULES;
+use hetero_soc::sync::SyncMechanism;
+use heterollm::ModelConfig;
+
+const USAGE: &str =
+    "usage: analyze [--json] [--model NAME] [--mechanism fast|driver] [--seq N,N,...] [--rules]";
+
+struct Args {
+    json: bool,
+    help: bool,
+    list_rules: bool,
+    models: Vec<String>,
+    mechanism: SyncMechanism,
+    seqs: Vec<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        help: false,
+        list_rules: false,
+        models: Vec::new(),
+        mechanism: SyncMechanism::Fast,
+        seqs: DEFAULT_SEQS.to_vec(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--rules" => args.list_rules = true,
+            "--model" => {
+                let name = it.next().ok_or("--model needs a value")?;
+                args.models.push(name);
+            }
+            "--mechanism" => {
+                args.mechanism = match it.next().as_deref() {
+                    Some("fast") => SyncMechanism::Fast,
+                    Some("driver") => SyncMechanism::Driver,
+                    other => return Err(format!("--mechanism needs fast|driver, got {other:?}")),
+                };
+            }
+            "--seq" => {
+                let csv = it.next().ok_or("--seq needs a comma-separated list")?;
+                args.seqs = csv
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad --seq '{s}': {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn models_for(args: &Args) -> Result<Vec<ModelConfig>, String> {
+    if args.models.is_empty() {
+        return Ok(ModelConfig::evaluation_models());
+    }
+    args.models
+        .iter()
+        .map(|name| ModelConfig::by_name(name).ok_or_else(|| format!("unknown model '{name}'")))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    if args.list_rules {
+        for r in &RULES {
+            println!(
+                "{:<20} {:<5} {} [{}]",
+                r.id,
+                r.severity.to_string(),
+                r.summary,
+                r.paper
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let models = match models_for(&args) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = lint_models(&models, &args.seqs, args.mechanism);
+
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.findings {
+            println!("{d}");
+        }
+        println!(
+            "checked {} plans: {} deny, {} warn",
+            report.summary.checked, report.summary.deny, report.summary.warn
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,174 @@
+//! Typed findings and the aggregated report.
+
+use serde::{Content, ContentError, Deserialize, Serialize};
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: the artifact works but leaves modelled performance on
+    /// the table or is in a non-canonical form.
+    Warn,
+    /// Hard error: the artifact violates a structural invariant and
+    /// would execute incorrectly (or not at all) on the modelled SoC.
+    Deny,
+}
+
+// Manual impls so the JSON encoding is the same lowercase string the
+// severity displays as ("warn"/"deny"), not the variant name.
+impl Serialize for Severity {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Severity {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        match content.as_str() {
+            Some("warn") => Ok(Self::Warn),
+            Some("deny") => Ok(Self::Deny),
+            _ => Err(ContentError::custom(format!(
+                "expected \"warn\" or \"deny\", got {content}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Warn => "warn",
+            Self::Deny => "deny",
+        })
+    }
+}
+
+/// One finding from one rule at one location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule identifier (see [`crate::rules::RULES`]).
+    pub rule_id: String,
+    /// Severity (the rule's registered level).
+    pub severity: Severity,
+    /// What was being checked, e.g. `"Llama-8B/ffn_down[m=300]"`.
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the rule knows.
+    pub suggestion: Option<String>,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule_id, self.location, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (suggestion: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Counts accompanying a [`Report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of deny-level findings.
+    pub deny: usize,
+    /// Number of warn-level findings.
+    pub warn: usize,
+    /// Number of artifacts (plans, schedules, traces) checked.
+    pub checked: usize,
+}
+
+/// Aggregated analysis results, serializable as the CLI's JSON output.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// Schema version of the JSON encoding.
+    pub version: u32,
+    /// Every finding, in check order.
+    pub findings: Vec<Diagnostic>,
+    /// Aggregate counts.
+    pub summary: Summary,
+}
+
+impl Report {
+    /// Current JSON schema version.
+    pub const VERSION: u32 = 1;
+
+    /// New, empty report.
+    pub fn new() -> Self {
+        Self {
+            version: Self::VERSION,
+            ..Self::default()
+        }
+    }
+
+    /// Fold in the findings for one checked artifact.
+    pub fn extend(&mut self, findings: Vec<Diagnostic>) {
+        self.summary.checked += 1;
+        for d in &findings {
+            match d.severity {
+                Severity::Deny => self.summary.deny += 1,
+                Severity::Warn => self.summary.warn += 1,
+            }
+        }
+        self.findings.extend(findings);
+    }
+
+    /// Whether no deny-level finding was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.summary.deny == 0
+    }
+
+    /// The report as a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(severity: Severity) -> Diagnostic {
+        Diagnostic {
+            rule_id: "shape-conservation".into(),
+            severity,
+            location: "test".into(),
+            message: "msg".into(),
+            suggestion: None,
+        }
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut r = Report::new();
+        r.extend(vec![diag(Severity::Deny), diag(Severity::Warn)]);
+        r.extend(vec![]);
+        assert_eq!(r.summary.checked, 2);
+        assert_eq!(r.summary.deny, 1);
+        assert_eq!(r.summary.warn, 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = Report::new();
+        r.extend(vec![diag(Severity::Deny)]);
+        let json = r.to_json();
+        assert!(json.contains("\"deny\""), "lowercase severity: {json}");
+        let back: Report = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn display_includes_rule_and_severity() {
+        let mut d = diag(Severity::Deny);
+        d.suggestion = Some("fix it".into());
+        let s = d.to_string();
+        assert!(s.contains("deny[shape-conservation]"), "{s}");
+        assert!(s.contains("fix it"), "{s}");
+    }
+}

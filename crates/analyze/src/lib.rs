@@ -1,0 +1,104 @@
+#![warn(missing_docs)]
+
+//! Static invariant checker for HeteroLLM partition plans, graph sets,
+//! and sync schedules.
+//!
+//! The simulator can tell you a plan is *slow*; this crate tells you a
+//! plan is *wrong* — without running anything. It checks solver output
+//! and hand-built artifacts against a registry of named invariants
+//! drawn from the paper's hardware constraints:
+//!
+//! | rule | severity | invariant |
+//! |------|----------|-----------|
+//! | `shape-conservation` | deny | the split covers the Matmul exactly (§4.1) |
+//! | `tile-alignment`     | deny | NPU sizes fit the 32×32 systolic array (§3.2) |
+//! | `graph-membership`   | deny | every NPU size has a compiled graph (§4.1.1) |
+//! | `plan-normalization` | warn | degenerate splits in canonical form (§4.3) |
+//! | `sync-mechanism`     | warn | fast sync used where available (§4.2) |
+//! | `sync-schedule`      | deny | submission graph acyclic, rendezvous two-sided (§4.2) |
+//! | `mempool-aliasing`   | deny | live pooled tensors never overlap (§4.2) |
+//!
+//! Findings are typed [`Diagnostic`]s aggregated into a [`Report`] with
+//! a stable JSON encoding (`Report::to_json`). The `analyze` binary
+//! lints solver output across the paper's model configurations and
+//! exits non-zero on deny-level findings, so CI can gate on it.
+//!
+//! The invariant *predicates* live beside the plan types in
+//! [`hetero_graph::partition`]; the solver re-checks its own output
+//! through them in debug builds (its `validate` feature). This crate
+//! adds the rule registry, severities, locations, reporting, and the
+//! checks that need more context than a single plan.
+
+pub mod diag;
+pub mod mem;
+pub mod plan_rules;
+pub mod rules;
+pub mod sched;
+pub mod sweep;
+
+pub use diag::{Diagnostic, Report, Severity, Summary};
+pub use mem::{check_regions, TensorRegion};
+pub use plan_rules::{check_plan, PlanContext};
+pub use rules::{rule, RuleInfo, RULES};
+pub use sched::{check_schedule, EventKind, SyncEvent, SyncSchedule};
+pub use sweep::lint_models;
+
+use hetero_graph::partition::PartitionPlan;
+
+/// Run every applicable rule against one plan: the plan-level rules
+/// plus a sanity check of the sync schedule the plan implies.
+pub fn check_plan_full(plan: &PartitionPlan, ctx: &PlanContext) -> Vec<Diagnostic> {
+    let mut out = plan_rules::check_plan(plan, ctx);
+    let schedule = SyncSchedule::for_plan(plan);
+    out.extend(sched::check_schedule(&schedule, &ctx.location));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_check_is_clean_on_good_plans() {
+        for (plan, m, n) in [
+            (PartitionPlan::GpuOnly, 300, 4096),
+            (PartitionPlan::NpuOnly { padded_m: 512 }, 300, 4096),
+            (
+                PartitionPlan::SeqCut {
+                    npu_chunks: vec![256, 32],
+                    gpu_rows: 12,
+                },
+                300,
+                4096,
+            ),
+            (
+                PartitionPlan::HybridCut {
+                    padded_m: 512,
+                    gpu_cols: 1024,
+                },
+                300,
+                4096,
+            ),
+        ] {
+            let ctx = PlanContext::standard("test", m, n);
+            let diags = check_plan_full(&plan, &ctx);
+            assert!(diags.is_empty(), "{plan:?}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn full_check_flags_bad_plan_once_per_rule() {
+        // padded_m 96: compiled-graph miss; m 100 covered (96 < 100 →
+        // also a conservation violation).
+        let plan = PartitionPlan::NpuOnly { padded_m: 96 };
+        let ctx = PlanContext::standard("test", 100, 4096);
+        let diags = check_plan_full(&plan, &ctx);
+        let mut ids: Vec<&str> = diags.iter().map(|d| d.rule_id.as_str()).collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            vec![rules::GRAPH_MEMBERSHIP, rules::SHAPE_CONSERVATION],
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! The named-rule registry.
+//!
+//! Every diagnostic the analyzer emits carries one of these stable
+//! identifiers; severities are fixed per rule so a CI gate can fail on
+//! deny-level findings without parsing messages.
+
+use crate::diag::Severity;
+
+/// Rule: a plan must neither drop nor duplicate rows/columns of the
+/// Matmul it partitions.
+pub const SHAPE_CONSERVATION: &str = "shape-conservation";
+/// Rule: every NPU sequence size must be a multiple of the systolic
+/// tile edge.
+pub const TILE_ALIGNMENT: &str = "tile-alignment";
+/// Rule: every NPU sequence size must have a compiled graph.
+pub const GRAPH_MEMBERSHIP: &str = "graph-membership";
+/// Rule: degenerate parallel forms should be in canonical serial form.
+pub const PLAN_NORMALIZATION: &str = "plan-normalization";
+/// Rule: prefer fast synchronization when the platform supports it.
+pub const SYNC_MECHANISM: &str = "sync-mechanism";
+/// Rule: the submission happens-before graph must be sane.
+pub const SYNC_SCHEDULE: &str = "sync-schedule";
+/// Rule: live pooled tensor regions must not overlap.
+pub const MEMPOOL_ALIASING: &str = "mempool-aliasing";
+
+/// Metadata for one registered rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable identifier (used in diagnostics and CLI filters).
+    pub id: &'static str,
+    /// Severity of every finding this rule emits.
+    pub severity: Severity,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Paper anchor the invariant traces to.
+    pub paper: &'static str,
+}
+
+/// All registered rules.
+pub const RULES: [RuleInfo; 7] = [
+    RuleInfo {
+        id: SHAPE_CONSERVATION,
+        severity: Severity::Deny,
+        summary: "partition covers the Matmul exactly: Σnpu_chunks + gpu_rows = m, \
+                  gpu_cols < n, padded_m ≥ m",
+        paper: "§4.1",
+    },
+    RuleInfo {
+        id: TILE_ALIGNMENT,
+        severity: Severity::Deny,
+        summary: "NPU sequence sizes are multiples of the 32×32 systolic tile",
+        paper: "§3.2, §4.3",
+    },
+    RuleInfo {
+        id: GRAPH_MEMBERSHIP,
+        severity: Severity::Deny,
+        summary: "every NPU sequence size has a pre-compiled static graph",
+        paper: "§4.1.1, §5.2.2",
+    },
+    RuleInfo {
+        id: PLAN_NORMALIZATION,
+        severity: Severity::Warn,
+        summary: "degenerate parallel plans (empty GPU share) are written in \
+                  canonical serial form; GPU column cuts stay on the solver's \
+                  row alignment",
+        paper: "§4.1.1, §4.3",
+    },
+    RuleInfo {
+        id: SYNC_MECHANISM,
+        severity: Severity::Warn,
+        summary: "driver-level synchronization used where fast sync is available",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: SYNC_SCHEDULE,
+        severity: Severity::Deny,
+        summary: "the GPU/NPU submission graph is acyclic and every rendezvous \
+                  joins both backends",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: MEMPOOL_ALIASING,
+        severity: Severity::Deny,
+        summary: "live tensor regions in the shared memory pool never overlap",
+        paper: "§4.2",
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        for (i, a) in RULES.iter().enumerate() {
+            for b in &RULES[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_registered_rules() {
+        assert_eq!(rule(SHAPE_CONSERVATION).unwrap().severity, Severity::Deny);
+        assert_eq!(rule(SYNC_MECHANISM).unwrap().severity, Severity::Warn);
+        assert!(rule("no-such-rule").is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! Sync-schedule sanity: the happens-before graph over GPU/NPU
+//! submissions and rendezvous points (§4.2).
+//!
+//! A partition plan implies a small dependency graph: kernel
+//! submissions on each backend, serial backend switches, and — for
+//! parallel plans — a rendezvous where both sides' results become
+//! visible. The checker verifies the graph can actually execute: waits
+//! are acyclic, reference real events, and every rendezvous joins both
+//! backends (a one-sided rendezvous is a wait on nothing and models a
+//! lost synchronization).
+
+use hetero_graph::partition::PartitionPlan;
+use hetero_soc::Backend;
+use serde::{Deserialize, Serialize};
+
+use crate::diag::Diagnostic;
+use crate::rules;
+
+/// What one schedule event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Kernel (or graph) submission on a backend.
+    Submit,
+    /// Serial handoff of a tensor to another backend.
+    Switch,
+    /// Parallel-section join: both backends' results become visible.
+    Rendezvous,
+}
+
+/// One node in the happens-before graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncEvent {
+    /// Human-readable label, e.g. `"npu chunk 512"`.
+    pub label: String,
+    /// Backend the event runs on (rendezvous: the waiting side).
+    pub backend: Backend,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Indices of events that must complete before this one starts.
+    pub waits_on: Vec<usize>,
+}
+
+/// A happens-before graph over submissions and rendezvous points.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncSchedule {
+    /// Events in submission order.
+    pub events: Vec<SyncEvent>,
+}
+
+impl SyncSchedule {
+    /// The canonical schedule a [`PartitionPlan`] implies.
+    ///
+    /// Serial NPU plans chain a backend switch into the NPU dispatches;
+    /// parallel plans submit both sides independently and join them
+    /// with a rendezvous on the CPU control plane.
+    pub fn for_plan(plan: &PartitionPlan) -> Self {
+        let mut events = Vec::new();
+        let mut submit = |label: String, backend: Backend, waits_on: Vec<usize>| {
+            events.push(SyncEvent {
+                label,
+                backend,
+                kind: EventKind::Submit,
+                waits_on,
+            });
+            events.len() - 1
+        };
+        match plan {
+            PartitionPlan::GpuOnly => {
+                submit("gpu kernel".into(), Backend::Gpu, vec![]);
+            }
+            PartitionPlan::NpuOnly { padded_m } => {
+                let s = submit(format!("npu graph {padded_m}"), Backend::Npu, vec![]);
+                events.push(SyncEvent {
+                    label: "switch to gpu consumer".into(),
+                    backend: Backend::Npu,
+                    kind: EventKind::Switch,
+                    waits_on: vec![s],
+                });
+            }
+            PartitionPlan::NpuPipe { chunks, .. }
+            | PartitionPlan::SeqCut {
+                npu_chunks: chunks,
+                gpu_rows: 0,
+            } => {
+                let mut prev: Option<usize> = None;
+                for c in chunks {
+                    let waits = prev.map(|p| vec![p]).unwrap_or_default();
+                    prev = Some(submit(format!("npu chunk {c}"), Backend::Npu, waits));
+                }
+                events.push(SyncEvent {
+                    label: "switch to gpu consumer".into(),
+                    backend: Backend::Npu,
+                    kind: EventKind::Switch,
+                    waits_on: prev.map(|p| vec![p]).unwrap_or_default(),
+                });
+            }
+            PartitionPlan::RowCut { gpu_cols, padded_m }
+            | PartitionPlan::HybridCut { padded_m, gpu_cols } => {
+                let g = submit(format!("gpu cols {gpu_cols}"), Backend::Gpu, vec![]);
+                let n = submit(format!("npu graph {padded_m}"), Backend::Npu, vec![]);
+                events.push(SyncEvent {
+                    label: "rendezvous".into(),
+                    backend: Backend::Cpu,
+                    kind: EventKind::Rendezvous,
+                    waits_on: vec![g, n],
+                });
+            }
+            PartitionPlan::SeqCut {
+                npu_chunks,
+                gpu_rows,
+            } => {
+                let g = submit(format!("gpu rows {gpu_rows}"), Backend::Gpu, vec![]);
+                let mut prev: Option<usize> = None;
+                for c in npu_chunks {
+                    let waits = prev.map(|p| vec![p]).unwrap_or_default();
+                    prev = Some(submit(format!("npu chunk {c}"), Backend::Npu, waits));
+                }
+                let mut waits = vec![g];
+                waits.extend(prev);
+                events.push(SyncEvent {
+                    label: "rendezvous".into(),
+                    backend: Backend::Cpu,
+                    kind: EventKind::Rendezvous,
+                    waits_on: waits,
+                });
+            }
+        }
+        Self { events }
+    }
+
+    /// Indices reachable (transitively waited on) from `from`.
+    fn reachable(&self, from: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.events.len()];
+        let mut stack = vec![from];
+        while let Some(i) = stack.pop() {
+            for &w in &self.events[i].waits_on {
+                if w < self.events.len() && !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        (0..self.events.len()).filter(|&i| seen[i]).collect()
+    }
+}
+
+fn emit(out: &mut Vec<Diagnostic>, location: &str, message: String, suggestion: Option<String>) {
+    let info = rules::rule(rules::SYNC_SCHEDULE).expect("registered");
+    out.push(Diagnostic {
+        rule_id: rules::SYNC_SCHEDULE.into(),
+        severity: info.severity,
+        location: location.into(),
+        message,
+        suggestion,
+    });
+}
+
+/// Check a sync schedule's happens-before graph.
+pub fn check_schedule(schedule: &SyncSchedule, location: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = schedule.events.len();
+
+    // Dangling waits.
+    for (i, e) in schedule.events.iter().enumerate() {
+        for &w in &e.waits_on {
+            if w >= n {
+                emit(
+                    &mut out,
+                    location,
+                    format!("event {i} ({}) waits on nonexistent event {w}", e.label),
+                    None,
+                );
+            }
+        }
+    }
+
+    // Cyclic waits (Kahn's algorithm on the in-range edges): an event
+    // becomes ready once everything it waits on has executed.
+    let mut remaining_deps: Vec<usize> = schedule
+        .events
+        .iter()
+        .map(|e| e.waits_on.iter().filter(|&&w| w < n).count())
+        .collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_deps[i] == 0).collect();
+    let mut executed = 0usize;
+    // Reverse adjacency: dependency → dependents.
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in schedule.events.iter().enumerate() {
+        for &w in &e.waits_on {
+            if w < n {
+                dependents[w].push(i);
+            }
+        }
+    }
+    while let Some(i) = ready.pop() {
+        executed += 1;
+        for &d in &dependents[i] {
+            remaining_deps[d] -= 1;
+            if remaining_deps[d] == 0 {
+                ready.push(d);
+            }
+        }
+    }
+    if executed < n {
+        let stuck: Vec<String> = (0..n)
+            .filter(|&i| remaining_deps[i] > 0)
+            .map(|i| schedule.events[i].label.clone())
+            .collect();
+        emit(
+            &mut out,
+            location,
+            format!("cyclic waits: events {stuck:?} can never execute"),
+            Some("break the cycle; a rendezvous must not be waited on by its inputs".into()),
+        );
+    }
+
+    // Rendezvous pairing: each rendezvous must (transitively) wait on
+    // at least one GPU and one NPU submission.
+    for (i, e) in schedule.events.iter().enumerate() {
+        if e.kind != EventKind::Rendezvous {
+            continue;
+        }
+        let upstream = schedule.reachable(i);
+        let sees = |b: Backend| {
+            upstream.iter().any(|&u| {
+                schedule.events[u].backend == b && schedule.events[u].kind == EventKind::Submit
+            })
+        };
+        if !sees(Backend::Gpu) || !sees(Backend::Npu) {
+            emit(
+                &mut out,
+                location,
+                format!(
+                    "rendezvous '{}' does not join both backends (waits on {:?})",
+                    e.label, e.waits_on
+                ),
+                Some("a rendezvous must wait on at least one GPU and one NPU submission".into()),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(label: &str, backend: Backend, kind: EventKind, waits_on: Vec<usize>) -> SyncEvent {
+        SyncEvent {
+            label: label.into(),
+            backend,
+            kind,
+            waits_on,
+        }
+    }
+
+    #[test]
+    fn accepts_parallel_plan_schedule() {
+        let plan = PartitionPlan::SeqCut {
+            npu_chunks: vec![512, 32],
+            gpu_rows: 56,
+        };
+        let s = SyncSchedule::for_plan(&plan);
+        assert!(check_schedule(&s, "test").is_empty());
+        // 1 GPU submit + 2 NPU chunks + rendezvous.
+        assert_eq!(s.events.len(), 4);
+    }
+
+    #[test]
+    fn accepts_serial_plan_schedules() {
+        for plan in [
+            PartitionPlan::GpuOnly,
+            PartitionPlan::NpuOnly { padded_m: 256 },
+            PartitionPlan::NpuPipe {
+                chunks: vec![1024, 64],
+                padded_rows: 4,
+            },
+        ] {
+            let s = SyncSchedule::for_plan(&plan);
+            assert!(check_schedule(&s, "test").is_empty(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_cyclic_waits() {
+        let s = SyncSchedule {
+            events: vec![
+                ev("a", Backend::Gpu, EventKind::Submit, vec![1]),
+                ev("b", Backend::Npu, EventKind::Submit, vec![0]),
+            ],
+        };
+        let diags = check_schedule(&s, "test");
+        assert!(
+            diags.iter().any(|d| d.message.contains("cyclic")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_one_sided_rendezvous() {
+        let s = SyncSchedule {
+            events: vec![
+                ev("gpu", Backend::Gpu, EventKind::Submit, vec![]),
+                ev("join", Backend::Cpu, EventKind::Rendezvous, vec![0]),
+            ],
+        };
+        let diags = check_schedule(&s, "test");
+        assert!(
+            diags.iter().any(|d| d.message.contains("both backends")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_dangling_wait() {
+        let s = SyncSchedule {
+            events: vec![ev("a", Backend::Gpu, EventKind::Submit, vec![7])],
+        };
+        let diags = check_schedule(&s, "test");
+        assert!(
+            diags.iter().any(|d| d.message.contains("nonexistent")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn rendezvous_sees_transitive_submissions() {
+        // GPU → switch → rendezvous also waiting on NPU: the GPU submit
+        // is only reachable through the intermediate event.
+        let s = SyncSchedule {
+            events: vec![
+                ev("gpu", Backend::Gpu, EventKind::Submit, vec![]),
+                ev("stage", Backend::Gpu, EventKind::Switch, vec![0]),
+                ev("npu", Backend::Npu, EventKind::Submit, vec![]),
+                ev("join", Backend::Cpu, EventKind::Rendezvous, vec![1, 2]),
+            ],
+        };
+        assert!(check_schedule(&s, "test").is_empty());
+    }
+}

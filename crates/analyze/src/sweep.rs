@@ -1,0 +1,92 @@
+//! Lint sweep over solver output for the paper's model configurations.
+//!
+//! Shared by the `analyze` binary and the experiment harness's
+//! `--analyze` flag: for each model the per-layer weight Matmuls are
+//! solved over a set of prefill sequence lengths (NPU-dominant) plus
+//! the decode shape (m = 1, GPU-dominant), and every resulting plan is
+//! run through the full rule set.
+
+use hetero_profiler::RealExecProvider;
+use hetero_soc::sync::{Dominance, SyncMechanism, SyncModel};
+use hetero_soc::SocConfig;
+use hetero_solver::{Solver, SolverConfig};
+use hetero_tensor::shape::MatmulShape;
+use heterollm::ModelConfig;
+
+use crate::diag::Report;
+use crate::plan_rules::PlanContext;
+
+/// Default prefill sequence lengths: the standard (aligned) sizes plus
+/// the paper's misaligned examples (135 from §5.2.2, 300/600 from
+/// §4.1.1, 2100 beyond the largest compiled graph).
+pub const DEFAULT_SEQS: [usize; 10] = [32, 128, 135, 256, 300, 512, 600, 1024, 2048, 2100];
+
+/// Solve and lint every weight Matmul of `models` over `seqs` (prefill)
+/// plus the decode shape, under the given sync mechanism.
+pub fn lint_models(models: &[ModelConfig], seqs: &[usize], mechanism: SyncMechanism) -> Report {
+    let mut report = Report::new();
+    let prefill_cfg = SolverConfig {
+        sync: SyncModel::new(mechanism),
+        ..SolverConfig::default()
+    };
+    let decode_cfg = SolverConfig {
+        sync: SyncModel::new(mechanism),
+        ..SolverConfig::decode(1)
+    };
+    for model in models {
+        let prefill = Solver::new(
+            RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+            prefill_cfg.clone(),
+        );
+        let decode = Solver::new(
+            RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+            decode_cfg.clone(),
+        );
+        for (op, k, n) in model.matmul_ops() {
+            for &m in seqs {
+                let choice = prefill.solve(MatmulShape::new(m, k, n), Dominance::NpuDominant);
+                let mut ctx = PlanContext::standard(format!("{}/{op}[m={m}]", model.name), m, n);
+                ctx.mechanism = mechanism;
+                ctx.compiled_sizes = prefill_cfg.standards.clone();
+                report.extend(crate::check_plan_full(&choice.plan, &ctx));
+            }
+            // Decode: m = 1, GPU-dominant, graphs only for length 1.
+            let choice = decode.solve(MatmulShape::new(1, k, n), Dominance::GpuDominant);
+            let mut ctx = PlanContext::standard(format!("{}/{op}[decode]", model.name), 1, n);
+            ctx.mechanism = mechanism;
+            ctx.compiled_sizes = decode_cfg.standards.clone();
+            report.extend(crate::check_plan_full(&choice.plan, &ctx));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_output_is_clean_for_one_model() {
+        let models = [ModelConfig::internlm_1_8b()];
+        let report = lint_models(&models, &[32, 300], SyncMechanism::Fast);
+        assert!(report.is_clean(), "{}", report.to_json());
+        assert_eq!(report.summary.warn, 0, "{}", report.to_json());
+        // 4 matmul ops × (2 prefill seqs + 1 decode).
+        assert_eq!(report.summary.checked, 12);
+    }
+
+    #[test]
+    fn driver_sync_sweep_warns_but_does_not_deny() {
+        let models = [ModelConfig::internlm_1_8b()];
+        let report = lint_models(&models, &[300], SyncMechanism::Driver);
+        assert!(report.is_clean(), "{}", report.to_json());
+        assert!(
+            report
+                .findings
+                .iter()
+                .all(|d| d.rule_id == crate::rules::SYNC_MECHANISM),
+            "{}",
+            report.to_json()
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests of the analyzer: solver output never trips a
+//! deny-level rule, mutated plans are rejected with the *expected*
+//! rule, and `normalize` is idempotent.
+
+use hetero_analyze::{check_plan_full, rules, PlanContext, Severity};
+use hetero_graph::partition::PartitionPlan;
+use hetero_profiler::RealExecProvider;
+use hetero_soc::calib::NPU_TILE;
+use hetero_soc::sync::Dominance;
+use hetero_soc::SocConfig;
+use hetero_solver::{Solver, SolverConfig};
+use hetero_tensor::shape::MatmulShape;
+use proptest::prelude::*;
+
+/// Rule ids of the deny-severity findings for a plan under `ctx`.
+fn deny_ids(plan: &PartitionPlan, ctx: &PlanContext) -> Vec<String> {
+    check_plan_full(plan, ctx)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .map(|d| d.rule_id)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The solver's chosen plan for a random shape passes every rule
+    /// at deny severity, under either dominance regime.
+    #[test]
+    fn solver_plans_never_deny(
+        m in 1usize..2200,
+        k in prop_oneof![Just(2048usize), Just(4096), Just(8192)],
+        n in prop_oneof![Just(2048usize), Just(4096), Just(14336)],
+        npu_dominant in proptest::bool::ANY,
+    ) {
+        let cfg = SolverConfig::default();
+        let solver = Solver::new(
+            RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+            cfg.clone(),
+        );
+        let dominance = if npu_dominant {
+            Dominance::NpuDominant
+        } else {
+            Dominance::GpuDominant
+        };
+        let choice = solver.solve(MatmulShape::new(m, k, n), dominance);
+        let mut ctx = PlanContext::standard(format!("prop[m={m},k={k},n={n}]"), m, n);
+        ctx.compiled_sizes = cfg.standards;
+        let denies = deny_ids(&choice.plan, &ctx);
+        prop_assert!(denies.is_empty(), "plan {:?}: {denies:?}", choice.plan);
+    }
+
+    /// An NPU-only plan whose padded size undercovers the sequence is a
+    /// shape-conservation violation.
+    #[test]
+    fn undercovering_plan_denied_as_conservation(m in 2usize..2048) {
+        let plan = PartitionPlan::NpuOnly { padded_m: m - 1 };
+        let ctx = PlanContext::standard("prop", m, 4096);
+        let denies = deny_ids(&plan, &ctx);
+        prop_assert!(
+            denies.iter().any(|id| id == rules::SHAPE_CONSERVATION),
+            "{denies:?}"
+        );
+    }
+
+    /// An NPU size above one tile that is not tile-aligned is a
+    /// tile-alignment violation (isolated by compiling that exact size
+    /// so graph-membership cannot fire instead).
+    #[test]
+    fn misaligned_size_denied_as_tile_alignment(
+        mult in 1usize..32,
+        off in 1usize..32,
+    ) {
+        let size = mult * NPU_TILE + off;
+        prop_assume!(!size.is_multiple_of(NPU_TILE));
+        let plan = PartitionPlan::NpuOnly { padded_m: size };
+        let mut ctx = PlanContext::standard("prop", size, 4096);
+        ctx.compiled_sizes.push(size);
+        let denies = deny_ids(&plan, &ctx);
+        prop_assert!(
+            denies.iter().any(|id| id == rules::TILE_ALIGNMENT),
+            "size {size}: {denies:?}"
+        );
+    }
+
+    /// A tile-aligned NPU size with no pre-compiled graph is a
+    /// graph-membership violation.
+    #[test]
+    fn uncompiled_size_denied_as_membership(j in 1usize..64) {
+        let size = j * NPU_TILE;
+        let ctx = PlanContext::standard("prop", size, 4096);
+        prop_assume!(!ctx.compiled_sizes.contains(&size));
+        let plan = PartitionPlan::NpuOnly { padded_m: size };
+        let denies = deny_ids(&plan, &ctx);
+        prop_assert_eq!(denies, vec![rules::GRAPH_MEMBERSHIP.to_string()]);
+    }
+
+    /// Dropping one NPU chunk from a valid sequence-cut plan breaks row
+    /// coverage and is denied as shape-conservation.
+    #[test]
+    fn dropped_chunk_denied_as_conservation(
+        keep in 1usize..4,
+        gpu_rows in 1usize..64,
+    ) {
+        let chunks: Vec<usize> = std::iter::repeat_n(256usize, keep + 1).collect();
+        let m = chunks.iter().sum::<usize>() + gpu_rows;
+        let valid = PartitionPlan::SeqCut {
+            npu_chunks: chunks.clone(),
+            gpu_rows,
+        };
+        let ctx = PlanContext::standard("prop", m, 4096);
+        prop_assert!(deny_ids(&valid, &ctx).is_empty());
+
+        let mutated = PartitionPlan::SeqCut {
+            npu_chunks: chunks[..keep].to_vec(),
+            gpu_rows,
+        };
+        let denies = deny_ids(&mutated, &ctx);
+        prop_assert_eq!(denies, vec![rules::SHAPE_CONSERVATION.to_string()]);
+    }
+
+    /// A degenerate sequence cut (empty GPU share) is flagged at warn
+    /// severity as plan-normalization, and normalizing it clears every
+    /// finding.
+    #[test]
+    fn degenerate_seq_cut_warns_until_normalized(j in 1usize..6) {
+        let size = 32 << (j - 1); // one of the standard graph sizes
+        let plan = PartitionPlan::SeqCut {
+            npu_chunks: vec![size],
+            gpu_rows: 0,
+        };
+        let ctx = PlanContext::standard("prop", size, 4096);
+        let diags = check_plan_full(&plan, &ctx);
+        prop_assert!(
+            diags.iter().any(|d| d.rule_id == rules::PLAN_NORMALIZATION
+                && d.severity == Severity::Warn),
+            "{diags:?}"
+        );
+        prop_assert!(check_plan_full(&plan.normalize(), &ctx).is_empty());
+    }
+
+    /// `normalize` is idempotent and its output self-reports as
+    /// normalized, for every plan variant.
+    #[test]
+    fn normalize_is_idempotent(
+        kind in 0usize..6,
+        a in 1usize..2048,
+        b in 0usize..2048,
+    ) {
+        let plan = match kind {
+            0 => PartitionPlan::GpuOnly,
+            1 => PartitionPlan::NpuOnly { padded_m: a },
+            2 => PartitionPlan::NpuPipe {
+                chunks: vec![a, a],
+                padded_rows: 0,
+            },
+            3 => PartitionPlan::RowCut {
+                gpu_cols: b,
+                padded_m: a,
+            },
+            4 => PartitionPlan::SeqCut {
+                npu_chunks: vec![a],
+                gpu_rows: b,
+            },
+            _ => PartitionPlan::HybridCut {
+                padded_m: a,
+                gpu_cols: b,
+            },
+        };
+        let once = plan.normalize();
+        prop_assert!(once.is_normalized(), "{once:?}");
+        prop_assert_eq!(once.clone(), once.normalize());
+    }
+}

@@ -14,7 +14,7 @@ fn bench_gemm(c: &mut Criterion) {
         let b = rng.uniform("b", &[n, n], 1.0).unwrap();
         group.throughput(Throughput::Elements((2 * n * n * n) as u64));
         group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
-            bench.iter(|| ops::matmul(&a, &b).unwrap())
+            bench.iter(|| ops::matmul(&a, &b).unwrap());
         });
     }
     group.finish();
@@ -32,14 +32,14 @@ fn bench_quant(c: &mut Criterion) {
     let rng = WeightRng::new(3);
     let w = rng.uniform("w", &[1024, 256], 0.5).unwrap();
     group.bench_function("w4_quantize_1024x256", |b| {
-        b.iter(|| W4Matrix::quantize(&w, 64).unwrap())
+        b.iter(|| W4Matrix::quantize(&w, 64).unwrap());
     });
     let q = W4Matrix::quantize(&w, 64).unwrap();
     group.bench_function("w4_dequantize_1024x256", |b| {
-        b.iter(|| q.dequantize().unwrap())
+        b.iter(|| q.dequantize().unwrap());
     });
     group.bench_function("int8_quantize_1024x256", |b| {
-        b.iter(|| Int8Matrix::quantize(&w).unwrap())
+        b.iter(|| Int8Matrix::quantize(&w).unwrap());
     });
     group.finish();
 }
@@ -49,18 +49,18 @@ fn bench_aux_kernels(c: &mut Criterion) {
     let x = rng.uniform("x", &[64, 4096], 2.0).unwrap();
     let gain = vec![1.0f32; 4096];
     c.bench_function("rmsnorm_64x4096", |b| {
-        b.iter(|| ops::rmsnorm(&x, &gain, 1e-5).unwrap())
+        b.iter(|| ops::rmsnorm(&x, &gain, 1e-5).unwrap());
     });
     c.bench_function("softmax_64x4096", |b| {
-        b.iter(|| ops::softmax_rows(&x).unwrap())
+        b.iter(|| ops::softmax_rows(&x).unwrap());
     });
     let gate = rng.uniform("g", &[64, 4096], 2.0).unwrap();
     c.bench_function("swiglu_64x4096", |b| {
-        b.iter(|| ops::swiglu(&gate, &x).unwrap())
+        b.iter(|| ops::swiglu(&gate, &x).unwrap());
     });
     let mut r = x.clone();
     c.bench_function("rope_64x4096", |b| {
-        b.iter(|| ops::apply_rope(&mut r, 32, 128, 7, 10000.0).unwrap())
+        b.iter(|| ops::apply_rope(&mut r, 32, 128, 7, 10000.0).unwrap());
     });
 }
 

@@ -17,10 +17,10 @@ fn bench_sim_pricing(c: &mut Criterion) {
     let soc = Soc::new(SocConfig::snapdragon_8gen3());
     let kernel = KernelDesc::matmul_w4a16(MatmulShape::new(256, 4096, 14336));
     c.bench_function("sim_npu_kernel_pricing", |b| {
-        b.iter(|| soc.solo_kernel_time(Backend::Npu, &kernel))
+        b.iter(|| soc.solo_kernel_time(Backend::Npu, &kernel));
     });
     c.bench_function("sim_gpu_kernel_pricing", |b| {
-        b.iter(|| soc.solo_kernel_time(Backend::Gpu, &kernel))
+        b.iter(|| soc.solo_kernel_time(Backend::Gpu, &kernel));
     });
 }
 
@@ -34,7 +34,7 @@ fn bench_solver(c: &mut Criterion) {
         ("misaligned_525", MatmulShape::new(525, 4096, 14336)),
     ] {
         group.bench_with_input(BenchmarkId::new("solve", name), &shape, |b, &s| {
-            b.iter(|| solver.solve(s, Dominance::NpuDominant))
+            b.iter(|| solver.solve(s, Dominance::NpuDominant));
         });
     }
     group.finish();
@@ -65,7 +65,7 @@ fn bench_decision_tree(c: &mut Criterion) {
         }
     }
     c.bench_function("tree_fit_96_samples", |b| {
-        b.iter(|| DecisionTree::fit(&x, &y, TreeParams::default()).unwrap())
+        b.iter(|| DecisionTree::fit(&x, &y, TreeParams::default()).unwrap());
     });
     let tree = DecisionTree::fit(&x, &y, TreeParams::default()).unwrap();
     c.bench_function("tree_predict", |b| b.iter(|| tree.predict(&x[17])));
@@ -79,19 +79,19 @@ fn bench_e2e_engines(c: &mut Criterion) {
         b.iter(|| {
             let mut e = EngineKind::HeteroTensor.build(&model, SyncMechanism::Fast);
             e.prefill(256)
-        })
+        });
     });
     group.bench_function("hetero_tensor_decode_16", |b| {
         b.iter(|| {
             let mut e = EngineKind::HeteroTensor.build(&model, SyncMechanism::Fast);
             e.decode(256, 16)
-        })
+        });
     });
     group.bench_function("ppl_opencl_prefill_256", |b| {
         b.iter(|| {
             let mut e = EngineKind::PplOpenCl.build(&model, SyncMechanism::Fast);
             e.prefill(256)
-        })
+        });
     });
     group.finish();
 }
@@ -112,11 +112,11 @@ fn bench_des_and_thermal(c: &mut Criterion) {
                 n += 1;
             }
             n
-        })
+        });
     });
     let thermal = ThermalModel::default();
     c.bench_function("thermal_sustained_30min", |b| {
-        b.iter(|| thermal.sustained_factor(4.0, 1800.0))
+        b.iter(|| thermal.sustained_factor(4.0, 1800.0));
     });
 }
 
@@ -125,7 +125,7 @@ fn bench_forest(c: &mut Criterion) {
     let x: Vec<Vec<f64>> = (0..96).map(|i| vec![i as f64, (i * i) as f64]).collect();
     let y: Vec<f64> = (0..96).map(|i| (i as f64).sqrt()).collect();
     c.bench_function("forest_fit_16x96", |b| {
-        b.iter(|| RandomForest::fit(&x, &y, ForestParams::default()).unwrap())
+        b.iter(|| RandomForest::fit(&x, &y, ForestParams::default()).unwrap());
     });
     let f = RandomForest::fit(&x, &y, ForestParams::default()).unwrap();
     c.bench_function("forest_predict", |b| b.iter(|| f.predict(&x[31])));
@@ -142,7 +142,7 @@ fn bench_interference(c: &mut Criterion) {
         .collect();
     let render = RenderWorkload::game_60fps();
     c.bench_function("interference_sim_500_bursts", |b| {
-        b.iter(|| simulate(&bursts, &render))
+        b.iter(|| simulate(&bursts, &render));
     });
 }
 

@@ -24,6 +24,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Ablation: row-partition alignment (Llama-8B, seq 256, prefill)\n");
     let model = ModelConfig::llama_8b();
     let mut t = Table::new(&["align", "operator", "est latency", "row-cut candidates"]);

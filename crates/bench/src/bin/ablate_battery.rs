@@ -24,6 +24,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Extension: tokens per battery charge (Llama-3B, 30% of a 69 kJ battery)\n");
     let model = ModelConfig::llama_3b();
     let mut t = Table::new(&[

@@ -18,6 +18,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Extension: INT8 KV cache vs FP16 (Llama-8B decode, Hetero-tensor)\n");
     let f16_model = ModelConfig::llama_8b();
     let int8_model = ModelConfig::llama_8b().with_int8_kv();

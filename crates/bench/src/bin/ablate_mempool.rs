@@ -58,6 +58,7 @@ fn replay(model: &ModelConfig, seq: usize, pooled: bool) -> (u64, f64, f64, u64)
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Ablation: shared memory pool vs fresh per-op allocation\n");
     let mut t = Table::new(&[
         "model",

@@ -23,6 +23,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Ablation: min-parallel-gain threshold (Llama-8B, seq 256 prefill)\n");
     let model = ModelConfig::llama_8b();
     let mut t = Table::new(&["min gain", "tokens/s", "GPU duty", "power (W)"]);

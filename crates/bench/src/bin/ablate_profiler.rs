@@ -20,6 +20,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Ablation: profiler mode (real-execution vs decision-tree prediction)\n");
     let mut t = Table::new(&[
         "model",

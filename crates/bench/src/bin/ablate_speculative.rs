@@ -25,6 +25,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Extension: speculative decoding (Llama-8B, prompt 256)\n");
     let model = ModelConfig::llama_8b();
     let target = 64usize;

@@ -25,6 +25,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Extension: thermal throttling over a 30-minute decode session (Llama-8B)\n");
     let model = ModelConfig::llama_8b();
     let thermal = ThermalModel::default();

@@ -20,6 +20,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 2: GPU effective throughput vs square GEMM size\n");
     let gpu = GpuModel::default();
     let mut t = Table::new(&["size", "time", "TFLOPS"]);

@@ -18,6 +18,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 4: NPU Matmul latency vs sequence rows (stage performance)\n");
     let npu = NpuModel::default();
     let (k, n) = (4096, 4096);

@@ -22,6 +22,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 5: order- and shape-sensitive NPU performance\n");
     let npu = NpuModel::default();
     let time_ms = |s: MatmulShape| {

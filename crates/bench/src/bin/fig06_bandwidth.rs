@@ -13,6 +13,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 6: achievable memory bandwidth per processor combination\n");
     let mem = MemorySystem::default();
     let combos: Vec<(&str, Vec<Backend>)> = vec![

@@ -14,6 +14,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 9: NPU graph generation time per operator\n");
     let model = CompileModel::default();
     let set = GraphSet::llama8b();

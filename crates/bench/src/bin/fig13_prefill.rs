@@ -25,6 +25,7 @@ const ENGINES: [EngineKind; 7] = [
 ];
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 13: prefill speed (tokens/s)\n");
     let seqs = [64usize, 256, 1024];
     let mut points = Vec::new();

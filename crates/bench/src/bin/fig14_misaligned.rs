@@ -24,6 +24,7 @@ const METHODS: [EngineKind; 5] = [
 ];
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 14: prefill latency at misaligned sequence lengths (Llama-8B, ms)\n");
     let model = ModelConfig::llama_8b();
     let mut t = Table::new(&[

@@ -16,6 +16,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 15: prefill tokens/s with and without fast synchronization\n");
     let mut points = Vec::new();
     for model in ModelConfig::evaluation_models() {

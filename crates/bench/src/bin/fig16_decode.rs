@@ -23,6 +23,7 @@ const ENGINES: [EngineKind; 6] = [
 ];
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 16: decoding rate (tokens/s), prompt length 256\n");
     let mut points = Vec::new();
     let models = ModelConfig::evaluation_models();

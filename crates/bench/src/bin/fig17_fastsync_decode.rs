@@ -14,6 +14,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 17: Hetero-tensor decode tokens/s with/without fast sync\n");
     let mut t = Table::new(&["model", "fast sync", "driver sync", "speedup"]);
     let mut points = Vec::new();

@@ -20,6 +20,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 18: prefill with a concurrent game (Llama-8B, seq 256)\n");
     let model = ModelConfig::llama_8b();
     let game = RenderWorkload::game_60fps();

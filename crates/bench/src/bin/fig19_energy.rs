@@ -15,6 +15,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Figure 19: power and energy, Llama-8B prefill @ seq 256\n");
     let model = ModelConfig::llama_8b();
     let mut t = Table::new(&["engine", "power (W)", "energy (J)", "tokens/s"]);

@@ -66,6 +66,7 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     let args = parse_args();
     println!(
         "simulating {} on {} ({} prompt tokens, {} decode tokens, {:?} sync)\n",

@@ -145,6 +145,7 @@ fn row(experiment: &'static str, quantity: &str, paper_val: f64, measured: f64, 
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     run_all();
 
     let mut rows: Vec<Row> = Vec::new();

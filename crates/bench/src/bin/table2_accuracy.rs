@@ -21,6 +21,7 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Table 2 (accuracy column): INT8 NPU computation vs W4A16 FLOAT\n");
     let cfg = ModelConfig::tiny();
     let mut t = Table::new(&["prompt seed", "logit MSE (int8)", "token agreement (int8)"]);

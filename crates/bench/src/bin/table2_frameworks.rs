@@ -91,6 +91,7 @@ fn rows() -> Vec<FrameworkRow> {
 }
 
 fn main() {
+    hetero_bench::maybe_analyze();
     println!("Table 2: Mobile-side inference engine capability matrix\n");
     let rows = rows();
     let mut t = Table::new(&[

@@ -16,6 +16,37 @@ use std::path::PathBuf;
 
 use serde::Serialize;
 
+/// Handle the `--analyze` flag shared by every experiment binary.
+///
+/// When `--analyze` is on the command line, run the static invariant
+/// checker over the solver output for the paper's evaluation models
+/// (prefill sweep + decode, fast sync) *before* the experiment itself,
+/// and abort with a non-zero exit status on any deny-level finding.
+/// Without the flag this is a no-op, so every figure/table binary can
+/// call it unconditionally at the top of `main`.
+pub fn maybe_analyze() {
+    if !std::env::args().skip(1).any(|a| a == "--analyze") {
+        return;
+    }
+    let models = heterollm::ModelConfig::evaluation_models();
+    let report = hetero_analyze::lint_models(
+        &models,
+        &hetero_analyze::sweep::DEFAULT_SEQS,
+        hetero_soc::sync::SyncMechanism::Fast,
+    );
+    for d in &report.findings {
+        eprintln!("{d}");
+    }
+    eprintln!(
+        "[analyze] checked {} plans: {} deny, {} warn",
+        report.summary.checked, report.summary.deny, report.summary.warn
+    );
+    if !report.is_clean() {
+        eprintln!("[analyze] deny-level findings; aborting experiment");
+        std::process::exit(1);
+    }
+}
+
 /// A simple aligned text table.
 #[derive(Debug, Clone)]
 pub struct Table {

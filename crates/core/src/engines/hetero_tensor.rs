@@ -75,7 +75,7 @@ impl HeteroTensorEngine<RealExecProvider> {
     ) -> Self {
         let soc_cfg = hetero_soc_config(sync);
         let provider = RealExecProvider::new(soc_cfg.clone());
-        let mut engine = Self::from_provider(model, soc_cfg.clone(), provider.clone());
+        let mut engine = Self::from_provider(model, soc_cfg, provider.clone());
         let plan_sync = SyncModel::new(SyncMechanism::Fast);
         engine.prefill_solver = Solver::new(
             provider.clone(),

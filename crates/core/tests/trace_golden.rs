@@ -110,7 +110,10 @@ fn functional_execution_launches_exactly_the_timed_trace() {
 
     let mut expected = Vec::new();
     let prefill = prefill_trace(&cfg, prompt_len);
-    for op in prefill.iter_all().filter(|o| o.role == OpRole::WeightMatmul) {
+    for op in prefill
+        .iter_all()
+        .filter(|o| o.role == OpRole::WeightMatmul)
+    {
         expected.push(op.shape.unwrap());
     }
     let decode = decode_trace(&cfg, prompt_len + 1, 1);

@@ -41,9 +41,27 @@ impl Default for CompileModel {
 impl CompileModel {
     /// Compile time of one Matmul operator graph.
     pub fn op_compile_time(&self, shape: MatmulShape) -> SimTime {
+        #[cfg(feature = "validate")]
+        self.validate();
         let volume = shape.m as f64 * shape.k as f64 * shape.n as f64;
         let ms = self.base_ms + self.coef * volume.powf(self.exponent);
         SimTime::from_secs_f64(ms * 1e-3)
+    }
+
+    /// Debug-build self-check: a usable compile model charges a
+    /// non-negative base cost and grows sub-linearly in problem volume
+    /// (exponent in `(0, 1]`), so cached totals stay finite and
+    /// monotone. Compiled out of release binaries.
+    #[cfg(feature = "validate")]
+    fn validate(&self) {
+        debug_assert!(
+            self.base_ms >= 0.0 && self.coef >= 0.0,
+            "compile model charges negative time: {self:?}"
+        );
+        debug_assert!(
+            self.exponent > 0.0 && self.exponent <= 1.0,
+            "compile model exponent outside (0, 1]: {self:?}"
+        );
     }
 
     /// Compile time of a whole graph set at sequence length `m`.

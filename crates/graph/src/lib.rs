@@ -17,12 +17,18 @@
 //!   **Padding** to the next standard size, **Online-prepare** (compile
 //!   at runtime), and **Pipe** (decompose into standard-size chunks
 //!   executed sequentially) — the baselines of Fig. 14.
+//! - [`partition`] defines [`partition::PartitionPlan`] — the GPU/NPU
+//!   split of one Matmul — together with its structural invariants
+//!   (shape conservation, tile alignment, graph membership), shared by
+//!   the solver's debug validation and the `hetero-analyze` checker.
 
 pub mod cache;
 pub mod compile;
+pub mod partition;
 pub mod plan;
 pub mod template;
 
 pub use cache::GraphCache;
 pub use compile::CompileModel;
+pub use partition::{PartitionPlan, PlanChoice};
 pub use template::{GraphSet, OpTemplate};

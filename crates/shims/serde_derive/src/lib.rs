@@ -1,0 +1,486 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the shim serde's
+//! [`Content`] data model. The registry is unreachable in this build
+//! environment, so `syn`/`quote` are unavailable; the derive input is
+//! parsed directly from the token stream. Supported shapes cover what
+//! this workspace derives: structs with named fields, tuple/newtype
+//! structs, unit structs, and enums with unit/tuple/struct variants,
+//! plus the `#[serde(with = "module")]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derive `serde::Serialize` (Content-tree shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derive `serde::Deserialize` (Content-tree shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let (name, item) = match parse_item(input) {
+        Ok(v) => v,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if ser {
+        gen_serialize(&name, &item)
+    } else {
+        gen_deserialize(&name, &item)
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde shim derive generated invalid code: {e:?}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// -------------------------------------------------------------------
+// Parsing
+// -------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Item), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Item::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Item::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Item::UnitStruct)),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Item::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("expected struct or enum, got `{other}`")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extract `with = "module"` from a `#[serde(...)]` attribute group, if
+/// the attribute at `tokens[i]` (pointing at `#`) is one.
+fn serde_with_attr(tokens: &[TokenTree], i: usize) -> Option<String> {
+    let TokenTree::Group(g) = tokens.get(i + 1)? else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let TokenTree::Group(args) = inner.get(1)? else {
+        return None;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match (args.first(), args.get(1), args.get(2)) {
+        (Some(TokenTree::Ident(kw)), Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+            if kw.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        _ => None,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (possibly `#[serde(with = "...")]`).
+        let mut with = None;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(w) = serde_with_attr(&tokens, i) {
+                        with = Some(w);
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(
+                        tokens.get(i),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run past the end)
+        fields.push(Field { name, with });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes/doc comments.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1; // the comma
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// -------------------------------------------------------------------
+// Code generation
+// -------------------------------------------------------------------
+
+const CONTENT: &str = "::serde::__private::Content";
+const ERR: &str = "::serde::__private::ContentError";
+
+fn named_fields_to_content(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut code = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+         ::serde::__private::Content)> = ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let access = accessor(&f.name);
+        let value = match &f.with {
+            Some(module) => format!(
+                "match {module}::serialize(&{access}, ::serde::__private::ContentSink) {{ \
+                 ::std::result::Result::Ok(__c) => __c, \
+                 ::std::result::Result::Err(__e) => \
+                 {CONTENT}::Str(::std::format!(\"<serialize error: {{}}>\", __e)) }}"
+            ),
+            None => format!("::serde::Serialize::to_content(&{access})"),
+        };
+        code.push_str(&format!(
+            "__fields.push(({:?}.to_string(), {value}));\n",
+            f.name
+        ));
+    }
+    code.push_str(&format!("{CONTENT}::Map(__fields)"));
+    code
+}
+
+fn named_fields_from_content(fields: &[Field], map_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let field_content = format!("::serde::__private::get_field({map_expr}, {:?})?", f.name);
+        let value = match &f.with {
+            Some(module) => format!(
+                "{module}::deserialize(::serde::__private::ContentSource(({field_content}).clone()))?"
+            ),
+            None => format!("::serde::Deserialize::from_content({field_content})?"),
+        };
+        inits.push_str(&format!("{}: {value},\n", f.name));
+    }
+    inits
+}
+
+fn gen_serialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct(fields) => named_fields_to_content(fields, |f| format!("self.{f}")),
+        Item::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Item::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("{CONTENT}::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Item::UnitStruct => format!("{CONTENT}::Null"),
+        Item::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => {CONTENT}::Str({vn:?}.to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__x0) => {CONTENT}::Map(::std::vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_content(__x0))]),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {CONTENT}::Map(::std::vec![({vn:?}.to_string(), \
+                             {CONTENT}::Seq(::std::vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_to_content(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ let __inner = {{ {inner} }}; \
+                             {CONTENT}::Map(::std::vec![({vn:?}.to_string(), __inner)]) }},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> {CONTENT} {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct(fields) => {
+            let inits = named_fields_from_content(fields, "__map");
+            format!(
+                "let __map = __content.as_object().ok_or_else(|| \
+                 {ERR}::custom(::std::format!(\"expected map for struct {name}, got {{}}\", \
+                 __content)))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}\n}})"
+            )
+        }
+        Item::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__content)?))"
+        ),
+        Item::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __content.as_array().ok_or_else(|| \
+                 {ERR}::custom(\"expected array for tuple struct {name}\"))?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err({ERR}::custom(\
+                 ::std::format!(\"expected {n} elements for {name}, got {{}}\", __seq.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Item::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{ let __seq = __inner.as_array().ok_or_else(|| \
+                             {ERR}::custom(\"expected array for variant {name}::{vn}\"))?;\n\
+                             if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                             {ERR}::custom(\"wrong arity for variant {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = named_fields_from_content(fields, "__map");
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{ let __map = __inner.as_object().ok_or_else(|| \
+                             {ERR}::custom(\"expected map for variant {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}\n}}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                     {CONTENT}::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err({ERR}::custom(\
+                             ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     {CONTENT}::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err({ERR}::custom(\
+                                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err({ERR}::custom(\
+                         ::std::format!(\"unexpected content for enum {name}: {{}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_content(__content: &{CONTENT}) -> \
+                 ::std::result::Result<Self, {ERR}> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,142 +1,9 @@
 //! Partition plan types.
+//!
+//! The types themselves live in [`hetero_graph::partition`], beside the
+//! sequence-length planners that generate their NPU chunks, so that the
+//! `hetero-analyze` invariant checker can lint plans without depending
+//! on the solver. This module re-exports them under the historical
+//! `hetero_solver::plan` path.
 
-use hetero_soc::SimTime;
-use serde::{Deserialize, Serialize};
-
-/// How one Matmul `[m,k] x [k,n]` is split across backends (§4.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PartitionPlan {
-    /// Whole problem on the GPU.
-    GpuOnly,
-    /// Whole problem on the NPU (requires a compiled graph for `m`,
-    /// padding `m` up to `padded_m`).
-    NpuOnly {
-        /// The graph's (standard) sequence size; ≥ `m`.
-        padded_m: usize,
-    },
-    /// Whole problem on the NPU as sequential standard-size chunks
-    /// (pipe / multi-sequence-length cutting without GPU help). The
-    /// final chunk may include padding.
-    NpuPipe {
-        /// Standard chunk sizes summing to ≥ `m`.
-        chunks: Vec<usize>,
-        /// Rows of padding inside the last chunk.
-        padded_rows: usize,
-    },
-    /// Row-cutting: the weight's output dimension `n` is split; the GPU
-    /// takes `gpu_cols` columns, the NPU the rest, in parallel.
-    RowCut {
-        /// Output features assigned to the GPU.
-        gpu_cols: usize,
-        /// The NPU side's graph sequence size; ≥ `m`.
-        padded_m: usize,
-    },
-    /// Sequence-length cutting: the activation's `m` rows are split;
-    /// the NPU runs standard-size chunks sequentially while the GPU
-    /// takes the misaligned margin, in parallel.
-    SeqCut {
-        /// Standard chunk sizes executed on the NPU.
-        npu_chunks: Vec<usize>,
-        /// Rows assigned to the GPU (`m − Σchunks`).
-        gpu_rows: usize,
-    },
-    /// Hybrid-cutting: padding on the sequence dimension *and* a row
-    /// cut — the NPU runs `[padded_m, k, n − gpu_cols]`, the GPU
-    /// `[m, k, gpu_cols]`, in parallel (§4.1.1).
-    HybridCut {
-        /// The NPU graph's sequence size; ≥ `m`.
-        padded_m: usize,
-        /// Output features assigned to the GPU.
-        gpu_cols: usize,
-    },
-}
-
-impl PartitionPlan {
-    /// Whether this plan uses both backends in parallel.
-    pub fn is_parallel(&self) -> bool {
-        matches!(
-            self,
-            Self::RowCut { .. } | Self::SeqCut { gpu_rows: 1.., .. } | Self::HybridCut { .. }
-        )
-    }
-
-    /// Whether the NPU participates at all.
-    pub fn uses_npu(&self) -> bool {
-        !matches!(self, Self::GpuOnly)
-    }
-
-    /// Short label for reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Self::GpuOnly => "gpu-only",
-            Self::NpuOnly { .. } => "npu-only",
-            Self::NpuPipe { .. } => "npu-pipe",
-            Self::RowCut { .. } => "row-cut",
-            Self::SeqCut { .. } => "seq-cut",
-            Self::HybridCut { .. } => "hybrid-cut",
-        }
-    }
-}
-
-/// A solved plan with its estimated latency.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PlanChoice {
-    /// The chosen partition.
-    pub plan: PartitionPlan,
-    /// The solver's latency estimate under the objective.
-    pub est_time: SimTime,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parallelism_classification() {
-        assert!(!PartitionPlan::GpuOnly.is_parallel());
-        assert!(!PartitionPlan::NpuOnly { padded_m: 256 }.is_parallel());
-        assert!(PartitionPlan::RowCut {
-            gpu_cols: 512,
-            padded_m: 256
-        }
-        .is_parallel());
-        assert!(PartitionPlan::HybridCut {
-            padded_m: 512,
-            gpu_cols: 256
-        }
-        .is_parallel());
-        assert!(PartitionPlan::SeqCut {
-            npu_chunks: vec![256],
-            gpu_rows: 44
-        }
-        .is_parallel());
-        assert!(!PartitionPlan::SeqCut {
-            npu_chunks: vec![256, 32],
-            gpu_rows: 0
-        }
-        .is_parallel());
-    }
-
-    #[test]
-    fn npu_usage() {
-        assert!(!PartitionPlan::GpuOnly.uses_npu());
-        assert!(PartitionPlan::NpuPipe {
-            chunks: vec![32],
-            padded_rows: 8
-        }
-        .uses_npu());
-    }
-
-    #[test]
-    fn labels_are_stable() {
-        assert_eq!(PartitionPlan::GpuOnly.label(), "gpu-only");
-        assert_eq!(
-            PartitionPlan::RowCut {
-                gpu_cols: 1,
-                padded_m: 1
-            }
-            .label(),
-            "row-cut"
-        );
-    }
-}
+pub use hetero_graph::partition::{PartitionPlan, PlanChoice};

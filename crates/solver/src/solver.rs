@@ -271,7 +271,7 @@ impl<P: CostProvider> Solver<P> {
         }
 
         // A parallel plan must clear the minimum-gain bar (§4.3).
-        match best_parallel {
+        let mut choice = match best_parallel {
             Some(p)
                 if p.est_time.as_secs_f64()
                     < best_serial.est_time.as_secs_f64() * (1.0 - self.cfg.min_parallel_gain) =>
@@ -279,7 +279,37 @@ impl<P: CostProvider> Solver<P> {
                 p
             }
             _ => best_serial,
+        };
+        // Canonicalize degenerate forms (SeqCut with an empty GPU share
+        // is an NpuPipe, etc.) so downstream sync accounting is honest.
+        choice.plan = choice.plan.normalize();
+        #[cfg(feature = "validate")]
+        self.validate_choice(&choice, shape);
+        choice
+    }
+
+    /// Debug-build self-check: re-verify the chosen plan against the
+    /// shared structural invariants in [`hetero_graph::partition`]
+    /// (shape conservation, tile alignment, graph membership,
+    /// canonical form). Compiled out of release binaries; a violation
+    /// here is a solver bug, so it panics rather than diagnosing.
+    #[cfg(feature = "validate")]
+    fn validate_choice(&self, choice: &PlanChoice, shape: MatmulShape) {
+        if !cfg!(debug_assertions) {
+            return;
         }
+        let plan = &choice.plan;
+        let mut violations = plan.conservation_violations(shape.m, shape.n);
+        violations.extend(plan.alignment_violations(hetero_soc::calib::NPU_TILE));
+        violations.extend(plan.membership_violations(&self.cfg.standards));
+        assert!(
+            violations.is_empty(),
+            "solver produced invalid plan {plan:?} for {shape:?}: {violations:?}"
+        );
+        assert!(
+            plan.is_normalized(),
+            "solver produced non-canonical plan {plan:?}"
+        );
     }
 }
 
@@ -305,7 +335,7 @@ mod tests {
         match &choice.plan {
             PartitionPlan::NpuOnly { padded_m } => assert_eq!(*padded_m, 256),
             PartitionPlan::RowCut { gpu_cols, .. } => {
-                assert!(*gpu_cols <= 1024, "GPU share too large: {gpu_cols}")
+                assert!(*gpu_cols <= 1024, "GPU share too large: {gpu_cols}");
             }
             other => panic!("unexpected plan {other:?}"),
         }

@@ -106,7 +106,7 @@ fn true_cost(plan: &PartitionPlan, shape: MatmulShape, truth: &RealExecProvider)
 
 fn regret_under_noise(amplitude: f64) -> f64 {
     let cfg = SocConfig::snapdragon_8gen3();
-    let truth = RealExecProvider::new(cfg.clone());
+    let truth = RealExecProvider::new(cfg);
     let exact_solver = Solver::new(truth.clone(), SolverConfig::default());
 
     let shapes = [

@@ -172,8 +172,8 @@ mod tests {
         let v = rand(3, "v", 4, 16);
         let base = causal_attention(cfg(), &q, &k, &v, 0).unwrap();
 
-        let mut k2 = k.clone();
-        let mut v2 = v.clone();
+        let mut k2 = k;
+        let mut v2 = v;
         for c in 0..16 {
             k2.set(&[3, c], 99.0).unwrap();
             v2.set(&[3, c], -99.0).unwrap();

@@ -30,7 +30,7 @@ fn main() {
     println!("context length after generation: {}", model.context_len());
 
     // Re-running with the same seed reproduces the exact same tokens.
-    let mut replay = FunctionalModel::new(cfg.clone(), 2024).expect("model builds");
+    let mut replay = FunctionalModel::new(cfg, 2024).expect("model builds");
     let again = replay.generate(&prompt, 16).expect("generation succeeds");
     assert_eq!(generated, again, "W4A16 inference is deterministic");
     println!("determinism check: identical tokens on replay");

@@ -224,8 +224,18 @@ fn zero_length_requests_are_harmless() {
         let mut e = kind.build(&model, SyncMechanism::Fast);
         let p = e.prefill(0);
         assert_eq!(p.tokens, 0, "{}", e.name());
-        assert!(p.elapsed.as_millis_f64() < 5.0, "{}: {}", e.name(), p.elapsed);
+        assert!(
+            p.elapsed.as_millis_f64() < 5.0,
+            "{}: {}",
+            e.name(),
+            p.elapsed
+        );
         let d = e.decode(0, 0);
-        assert_eq!(d.elapsed, heterollm_suite::soc::SimTime::ZERO, "{}", e.name());
+        assert_eq!(
+            d.elapsed,
+            heterollm_suite::soc::SimTime::ZERO,
+            "{}",
+            e.name()
+        );
     }
 }
