@@ -17,6 +17,7 @@
 //! | `sync-mechanism`     | warn | fast sync used where available (§4.2) |
 //! | `sync-schedule`      | deny | submission graph acyclic, rendezvous two-sided (§4.2) |
 //! | `mempool-aliasing`   | deny | live pooled tensors never overlap (§4.2) |
+//! | `fallback-integrity` | deny | degradation-time plans keep every invariant, acyclic under retry rescheduling (§4.2) |
 //!
 //! Findings are typed [`Diagnostic`]s aggregated into a [`Report`] with
 //! a stable JSON encoding (`Report::to_json`). The `analyze` binary
@@ -30,6 +31,7 @@
 //! checks that need more context than a single plan.
 
 pub mod diag;
+pub mod fallback;
 pub mod mem;
 pub mod plan_rules;
 pub mod rules;
@@ -37,10 +39,11 @@ pub mod sched;
 pub mod sweep;
 
 pub use diag::{Diagnostic, Report, Severity, Summary};
+pub use fallback::check_fallback;
 pub use mem::{check_regions, TensorRegion};
 pub use plan_rules::{check_plan, PlanContext};
 pub use rules::{rule, RuleInfo, RULES};
-pub use sched::{check_schedule, EventKind, SyncEvent, SyncSchedule};
+pub use sched::{check_schedule, retry_schedule, EventKind, SyncEvent, SyncSchedule};
 pub use sweep::lint_models;
 
 use hetero_graph::partition::PartitionPlan;

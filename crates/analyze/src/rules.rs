@@ -22,6 +22,10 @@ pub const SYNC_MECHANISM: &str = "sync-mechanism";
 pub const SYNC_SCHEDULE: &str = "sync-schedule";
 /// Rule: live pooled tensor regions must not overlap.
 pub const MEMPOOL_ALIASING: &str = "mempool-aliasing";
+/// Rule: plans adopted by the runtime controller while degrading must
+/// satisfy every plan/sync-schedule invariant, including an acyclic
+/// submission graph after flaky rendezvous are rescheduled for retry.
+pub const FALLBACK_INTEGRITY: &str = "fallback-integrity";
 
 /// Metadata for one registered rule.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +41,7 @@ pub struct RuleInfo {
 }
 
 /// All registered rules.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         id: SHAPE_CONSERVATION,
         severity: Severity::Deny,
@@ -82,6 +86,14 @@ pub const RULES: [RuleInfo; 7] = [
         id: MEMPOOL_ALIASING,
         severity: Severity::Deny,
         summary: "live tensor regions in the shared memory pool never overlap",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: FALLBACK_INTEGRITY,
+        severity: Severity::Deny,
+        summary: "degradation-time fallback plans keep every invariant; the \
+                  submission graph stays acyclic when flaky rendezvous are \
+                  rescheduled for retry",
         paper: "§4.2",
     },
 ];

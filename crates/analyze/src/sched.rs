@@ -144,6 +144,50 @@ impl SyncSchedule {
     }
 }
 
+/// The schedule after every rendezvous times out once and is retried
+/// (the runtime controller's bounded-retry reaction to flaky fast
+/// sync).
+///
+/// For each rendezvous, the latest upstream submission on each backend
+/// is re-submitted — happening after both its original submission
+/// (queue program order) and the failed rendezvous (the timeout that
+/// triggers the retry) — and a fresh rendezvous joins the retries.
+/// The derived schedule must pass [`check_schedule`] like any other:
+/// retrying must never introduce a cycle, and a retried rendezvous
+/// must still join both backends (it cannot if the original was
+/// one-sided — the lost side has nothing to re-submit).
+pub fn retry_schedule(base: &SyncSchedule) -> SyncSchedule {
+    let mut out = base.clone();
+    for r in 0..base.events.len() {
+        if base.events[r].kind != EventKind::Rendezvous {
+            continue;
+        }
+        let upstream = base.reachable(r);
+        let mut retry_waits = Vec::new();
+        for backend in [Backend::Gpu, Backend::Npu] {
+            let resubmit = upstream.iter().copied().rev().find(|&u| {
+                base.events[u].backend == backend && base.events[u].kind == EventKind::Submit
+            });
+            if let Some(s) = resubmit {
+                out.events.push(SyncEvent {
+                    label: format!("retry {}", base.events[s].label),
+                    backend,
+                    kind: EventKind::Submit,
+                    waits_on: vec![s, r],
+                });
+                retry_waits.push(out.events.len() - 1);
+            }
+        }
+        out.events.push(SyncEvent {
+            label: format!("retry {}", base.events[r].label),
+            backend: base.events[r].backend,
+            kind: EventKind::Rendezvous,
+            waits_on: retry_waits,
+        });
+    }
+    out
+}
+
 fn emit(out: &mut Vec<Diagnostic>, location: &str, message: String, suggestion: Option<String>) {
     let info = rules::rule(rules::SYNC_SCHEDULE).expect("registered");
     out.push(Diagnostic {
@@ -320,6 +364,43 @@ mod tests {
         let diags = check_schedule(&s, "test");
         assert!(
             diags.iter().any(|d| d.message.contains("nonexistent")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn retry_reschedules_each_rendezvous_acyclically() {
+        let plan = PartitionPlan::SeqCut {
+            npu_chunks: vec![512, 32],
+            gpu_rows: 56,
+        };
+        let base = SyncSchedule::for_plan(&plan);
+        let retried = retry_schedule(&base);
+        // One retry submit per backend plus a retried rendezvous.
+        assert_eq!(retried.events.len(), base.events.len() + 3);
+        assert!(check_schedule(&retried, "test").is_empty());
+        // Serial plans have no rendezvous: retry is the identity.
+        let serial = SyncSchedule::for_plan(&PartitionPlan::NpuOnly { padded_m: 256 });
+        assert_eq!(retry_schedule(&serial), serial);
+    }
+
+    #[test]
+    fn retry_of_one_sided_rendezvous_stays_one_sided() {
+        let s = SyncSchedule {
+            events: vec![
+                ev("gpu", Backend::Gpu, EventKind::Submit, vec![]),
+                ev("join", Backend::Cpu, EventKind::Rendezvous, vec![0]),
+            ],
+        };
+        let diags = check_schedule(&retry_schedule(&s), "test");
+        // Both the original and the retried rendezvous are flagged: the
+        // lost side has nothing to re-submit.
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.message.contains("both backends"))
+                .count(),
+            2,
             "{diags:?}"
         );
     }

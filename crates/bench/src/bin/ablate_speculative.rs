@@ -54,9 +54,11 @@ fn main() {
                 .collect();
 
             let mut hetero = HeteroTensorEngine::new(&model, SyncMechanism::Fast);
-            let h = run_speculative_hetero(&mut hetero, 256, draft_len + 1, &commits);
+            let h = run_speculative_hetero(&mut hetero, 256, draft_len + 1, &commits)
+                .expect("built-in trace is well-formed");
             let mut gpu = SingleBackendEngine::gpu(&model, GpuTier::PplOpenCl);
-            let g = run_speculative_gpu(&mut gpu, 256, draft_len + 1, &commits);
+            let g = run_speculative_gpu(&mut gpu, 256, draft_len + 1, &commits)
+                .expect("built-in trace is well-formed");
 
             t.row(&[
                 draft_len.to_string(),

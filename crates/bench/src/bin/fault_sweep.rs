@@ -1,0 +1,204 @@
+//! Robustness experiment: adaptive vs static degradation under a
+//! seeded disturbance trace.
+//!
+//! Both arms serve the identical conversation-traffic stream while the
+//! identical [`DisturbanceTrace::standard`] perturbs the SoC — render
+//! bursts contending for the FIFO GPU queue (Fig. 18), a thermal
+//! throttle step (§4), memory-bandwidth contention, an
+//! NPU-unavailability window, and flaky fast-sync rendezvous. The
+//! adaptive arm replans, falls back, downgrades sync, and sheds; the
+//! static arm keeps its calibration-time plans. Every plan the
+//! adaptive controller adopted while degrading is then pushed through
+//! `hetero-analyze`'s `fallback-integrity` rule.
+//!
+//! With a fixed `--seed`, output is byte-identical across runs — CI
+//! runs the binary twice and compares (the determinism gate).
+//!
+//! Flags: `--seed N` (default 42), `--requests N` (default 24),
+//! `--json` (print the machine-readable comparison on stdout),
+//! `--analyze` (standard pre-experiment solver lint).
+
+use hetero_analyze::{check_fallback, PlanContext};
+use hetero_bench::{save_json, Table};
+use hetero_soc::disturb::DisturbanceTrace;
+use hetero_soc::SimTime;
+use heterollm::runtime::{
+    conversation_traffic, ControllerConfig, DegradationReport, RuntimeController, SloPolicy,
+};
+use heterollm::ModelConfig;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Comparison {
+    seed: u64,
+    adaptive: DegradationReport,
+    baseline: DegradationReport,
+}
+
+struct Args {
+    seed: u64,
+    requests: usize,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fault_sweep [--seed N] [--requests N] [--json] [--analyze]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        requests: 24,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => args.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--json" => args.json = true,
+            "--analyze" => {} // consumed by maybe_analyze
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn run_arm(model: &ModelConfig, cfg: ControllerConfig, seed: u64, n: usize) -> DegradationReport {
+    let requests = conversation_traffic(seed, n, SimTime::from_millis(800));
+    let trace = DisturbanceTrace::standard(seed);
+    RuntimeController::new(model, cfg)
+        .run(&requests, &trace)
+        .expect("standard trace is well-formed")
+}
+
+fn ms(t: SimTime) -> String {
+    format!("{:.2}", t.as_millis_f64())
+}
+
+fn main() {
+    hetero_bench::maybe_analyze();
+    let args = parse_args();
+    let model = ModelConfig::internlm_1_8b();
+    println!(
+        "Robustness: fault sweep (InternLM-1.8B, {} requests, seed {})\n",
+        args.requests, args.seed
+    );
+
+    let slo = SloPolicy::calibrated(&model);
+    let adaptive = run_arm(
+        &model,
+        ControllerConfig::adaptive(slo),
+        args.seed,
+        args.requests,
+    );
+    let baseline = run_arm(
+        &model,
+        ControllerConfig::static_baseline(slo),
+        args.seed,
+        args.requests,
+    );
+
+    let mut t = Table::new(&["metric", "adaptive", "static"]);
+    let (a, s) = (&adaptive.summary, &baseline.summary);
+    t.row(&[
+        "completed".into(),
+        a.completed.to_string(),
+        s.completed.to_string(),
+    ]);
+    t.row(&["shed".into(), a.shed.to_string(), s.shed.to_string()]);
+    t.row(&[
+        "SLO violations".into(),
+        a.slo_violations.to_string(),
+        s.slo_violations.to_string(),
+    ]);
+    t.row(&[
+        "SLO violation rate".into(),
+        format!("{:.2}", a.slo_violation_rate()),
+        format!("{:.2}", s.slo_violation_rate()),
+    ]);
+    t.row(&["p50 TTFT (ms)".into(), ms(a.p50_ttft), ms(s.p50_ttft)]);
+    t.row(&["p99 TTFT (ms)".into(), ms(a.p99_ttft), ms(s.p99_ttft)]);
+    t.row(&["p50 TPOT (ms)".into(), ms(a.p50_tpot), ms(s.p50_tpot)]);
+    t.row(&["p99 TPOT (ms)".into(), ms(a.p99_tpot), ms(s.p99_tpot)]);
+    t.row(&[
+        "replans".into(),
+        a.replans.to_string(),
+        s.replans.to_string(),
+    ]);
+    t.row(&[
+        "fallbacks".into(),
+        a.fallbacks.to_string(),
+        s.fallbacks.to_string(),
+    ]);
+    t.row(&[
+        "sync retries".into(),
+        a.sync_retries.to_string(),
+        s.sync_retries.to_string(),
+    ]);
+    t.row(&[
+        "sync downgrades".into(),
+        a.sync_downgrades.to_string(),
+        s.sync_downgrades.to_string(),
+    ]);
+    t.row(&[
+        "mean recovery (ms)".into(),
+        ms(a.mean_recovery),
+        ms(s.mean_recovery),
+    ]);
+    t.row(&[
+        "unrecovered".into(),
+        a.unrecovered.to_string(),
+        s.unrecovered.to_string(),
+    ]);
+    t.row(&[
+        "energy (J)".into(),
+        format!("{:.2}", adaptive.session.power.energy_j),
+        format!("{:.2}", baseline.session.power.energy_j),
+    ]);
+    t.print();
+
+    // Every plan the adaptive controller adopted while degrading must
+    // pass the fallback-integrity rule (acyclic under retry
+    // rescheduling, plus all base plan invariants).
+    let mut findings = 0usize;
+    for rec in &adaptive.fallback_plans {
+        let ctx =
+            PlanContext::standard(format!("fault_sweep/{}[m={}]", rec.op, rec.m), rec.m, rec.n);
+        for d in check_fallback(&rec.plan, &ctx) {
+            eprintln!("{d}");
+            findings += 1;
+        }
+    }
+    println!(
+        "\n{} adopted plans checked against fallback-integrity: {} findings",
+        adaptive.fallback_plans.len(),
+        findings
+    );
+    assert_eq!(findings, 0, "degradation-time plans violated invariants");
+
+    // The tentpole claim: adaptive degrades strictly less at the tail.
+    assert!(
+        a.p99_ttft < s.p99_ttft,
+        "adaptive p99 TTFT {:?} must degrade strictly less than static {:?}",
+        a.p99_ttft,
+        s.p99_ttft
+    );
+    assert!(a.slo_violation_rate() <= s.slo_violation_rate());
+    println!("adaptive p99 TTFT < static p99 TTFT under the same seeded trace [verified]");
+
+    let comparison = Comparison {
+        seed: args.seed,
+        adaptive,
+        baseline,
+    };
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string(&comparison).expect("serialize comparison")
+        );
+    }
+    save_json("fault_sweep", &comparison);
+}

@@ -60,6 +60,7 @@ impl InferenceSession {
             prefill,
             decode,
             power,
+            degradation: None,
         }
     }
 }

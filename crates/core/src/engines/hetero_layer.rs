@@ -16,6 +16,7 @@ use hetero_soc::{Backend, SimTime, Soc};
 use hetero_tensor::shape::MatmulShape;
 
 use crate::engines::{gpu_kernel, hetero_soc_config, npu_kernel, Engine};
+use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::PhaseReport;
 use crate::trace::{decode_trace, prefill_trace, OpRole, PhaseTrace};
@@ -136,28 +137,28 @@ impl RoutedCore {
         }
     }
 
-    pub fn run_prefill(&mut self, prompt_len: usize) -> PhaseReport {
+    pub fn run_prefill(&mut self, prompt_len: usize) -> Result<PhaseReport, EngineError> {
         let start = self.soc.clock();
         let (chunks, prep) = self.npu_chunks(prompt_len);
         // Graph generation (Online-prepare) delays the whole request.
         self.soc.advance(prep);
 
         let trace = prefill_trace(&self.cfg, prompt_len);
-        self.run_routed(&trace, &chunks);
-        PhaseReport {
+        self.run_routed(&trace, &chunks)?;
+        Ok(PhaseReport {
             tokens: prompt_len,
             elapsed: self.soc.clock() - start,
-        }
+        })
     }
 
-    fn run_routed(&mut self, trace: &PhaseTrace, npu_chunks: &[usize]) {
+    fn run_routed(&mut self, trace: &PhaseTrace, npu_chunks: &[usize]) -> Result<(), EngineError> {
         // Clone the per-layer op list to avoid borrowing `trace` across
         // `&mut self` calls.
         let ops: Vec<_> = trace.iter_all().cloned().collect();
         for op in &ops {
             match op.role {
                 OpRole::WeightMatmul => {
-                    let shape = op.shape.expect("weight matmuls carry shapes");
+                    let shape = op.shape.ok_or(EngineError::MissingShape { op: op.op })?;
                     if shape.m == 1 {
                         // LM head (single row): a standard graph exists.
                         let k = self.npu_matmul_kernel(shape);
@@ -176,9 +177,14 @@ impl RoutedCore {
                 }
             }
         }
+        Ok(())
     }
 
-    pub fn run_decode(&mut self, prompt_len: usize, n_tokens: usize) -> PhaseReport {
+    pub fn run_decode(
+        &mut self,
+        prompt_len: usize,
+        n_tokens: usize,
+    ) -> Result<PhaseReport, EngineError> {
         let start = self.soc.clock();
         for t in 0..n_tokens {
             let trace = decode_trace(&self.cfg, prompt_len + t + 1, 1);
@@ -186,7 +192,7 @@ impl RoutedCore {
             for op in &ops {
                 match op.role {
                     OpRole::WeightMatmul => {
-                        let shape = op.shape.expect("weight matmuls carry shapes");
+                        let shape = op.shape.ok_or(EngineError::MissingShape { op: op.op })?;
                         match self.decode_matmul_backend {
                             Backend::Npu => {
                                 let k = self.npu_matmul_kernel(shape);
@@ -206,10 +212,10 @@ impl RoutedCore {
                 }
             }
         }
-        PhaseReport {
+        Ok(PhaseReport {
             tokens: n_tokens,
             elapsed: self.soc.clock() - start,
-        }
+        })
     }
 }
 
@@ -238,11 +244,15 @@ impl Engine for HeteroLayerEngine {
         &self.core.cfg
     }
 
-    fn prefill(&mut self, prompt_len: usize) -> PhaseReport {
+    fn try_prefill(&mut self, prompt_len: usize) -> Result<PhaseReport, EngineError> {
         self.core.run_prefill(prompt_len)
     }
 
-    fn decode(&mut self, prompt_len: usize, n_tokens: usize) -> PhaseReport {
+    fn try_decode(
+        &mut self,
+        prompt_len: usize,
+        n_tokens: usize,
+    ) -> Result<PhaseReport, EngineError> {
         self.core.run_decode(prompt_len, n_tokens)
     }
 

@@ -15,6 +15,7 @@ use hetero_solver::{PartitionPlan, PlanTable, Solver, SolverConfig};
 use hetero_tensor::shape::MatmulShape;
 
 use crate::engines::{gpu_kernel, hetero_soc_config, npu_kernel, Engine};
+use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::PhaseReport;
 use crate::trace::{decode_trace, prefill_trace, OpRole};
@@ -274,14 +275,14 @@ impl<P: CostProvider> Engine for HeteroTensorEngine<P> {
         &self.cfg
     }
 
-    fn prefill(&mut self, prompt_len: usize) -> PhaseReport {
+    fn try_prefill(&mut self, prompt_len: usize) -> Result<PhaseReport, EngineError> {
         let start = self.soc.clock();
         let trace = prefill_trace(&self.cfg, prompt_len);
         let ops: Vec<_> = trace.iter_all().cloned().collect();
         for op in &ops {
             match op.role {
                 OpRole::WeightMatmul => {
-                    let shape = op.shape.expect("weight matmuls carry shapes");
+                    let shape = op.shape.ok_or(EngineError::MissingShape { op: op.op })?;
                     let choice = self.prefill_table.get_or_solve(
                         &self.prefill_solver,
                         op.op,
@@ -296,13 +297,17 @@ impl<P: CostProvider> Engine for HeteroTensorEngine<P> {
                 }
             }
         }
-        PhaseReport {
+        Ok(PhaseReport {
             tokens: prompt_len,
             elapsed: self.soc.clock() - start,
-        }
+        })
     }
 
-    fn decode(&mut self, prompt_len: usize, n_tokens: usize) -> PhaseReport {
+    fn try_decode(
+        &mut self,
+        prompt_len: usize,
+        n_tokens: usize,
+    ) -> Result<PhaseReport, EngineError> {
         let start = self.soc.clock();
         for t in 0..n_tokens {
             let trace = decode_trace(&self.cfg, prompt_len + t + 1, 1);
@@ -310,7 +315,7 @@ impl<P: CostProvider> Engine for HeteroTensorEngine<P> {
             for op in &ops {
                 match op.role {
                     OpRole::WeightMatmul => {
-                        let shape = op.shape.expect("weight matmuls carry shapes");
+                        let shape = op.shape.ok_or(EngineError::MissingShape { op: op.op })?;
                         let choice = self.decode_table.get_or_solve(
                             &self.decode_solver,
                             op.op,
@@ -326,10 +331,10 @@ impl<P: CostProvider> Engine for HeteroTensorEngine<P> {
                 }
             }
         }
-        PhaseReport {
+        Ok(PhaseReport {
             tokens: n_tokens,
             elapsed: self.soc.clock() - start,
-        }
+        })
     }
 
     fn soc(&self) -> &Soc {

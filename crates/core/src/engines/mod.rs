@@ -25,6 +25,7 @@ use hetero_soc::power::PowerReport;
 use hetero_soc::sync::SyncMechanism;
 use hetero_soc::{calib, KernelDesc, Soc, SocConfig};
 
+use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::PhaseReport;
 
@@ -36,11 +37,45 @@ pub trait Engine {
     /// The model this engine instance serves.
     fn model(&self) -> &ModelConfig;
 
-    /// Run the prefill phase for a prompt of `prompt_len` tokens.
-    fn prefill(&mut self, prompt_len: usize) -> PhaseReport;
+    /// Run the prefill phase for a prompt of `prompt_len` tokens,
+    /// surfacing malformed traces as typed errors.
+    fn try_prefill(&mut self, prompt_len: usize) -> Result<PhaseReport, EngineError>;
 
-    /// Run `n_tokens` decode steps following a prompt of `prompt_len`.
-    fn decode(&mut self, prompt_len: usize, n_tokens: usize) -> PhaseReport;
+    /// Run `n_tokens` decode steps following a prompt of `prompt_len`,
+    /// surfacing malformed traces as typed errors.
+    fn try_decode(
+        &mut self,
+        prompt_len: usize,
+        n_tokens: usize,
+    ) -> Result<PhaseReport, EngineError>;
+
+    /// Infallible prefill for experiment harnesses running well-formed
+    /// built-in traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Engine::try_prefill`] fails; runtime callers that
+    /// must survive faults use the fallible form.
+    fn prefill(&mut self, prompt_len: usize) -> PhaseReport {
+        match self.try_prefill(prompt_len) {
+            Ok(r) => r,
+            Err(e) => panic!("prefill failed: {e}"),
+        }
+    }
+
+    /// Infallible decode for experiment harnesses running well-formed
+    /// built-in traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Engine::try_decode`] fails; runtime callers that
+    /// must survive faults use the fallible form.
+    fn decode(&mut self, prompt_len: usize, n_tokens: usize) -> PhaseReport {
+        match self.try_decode(prompt_len, n_tokens) {
+            Ok(r) => r,
+            Err(e) => panic!("decode failed: {e}"),
+        }
+    }
 
     /// Access the simulated SoC (clock, meter, trace).
     fn soc(&self) -> &Soc;

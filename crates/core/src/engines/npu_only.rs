@@ -11,6 +11,7 @@ use hetero_soc::{Backend, Soc};
 pub use crate::engines::hetero_layer::MisalignStrategy;
 use crate::engines::hetero_layer::RoutedCore;
 use crate::engines::Engine;
+use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::PhaseReport;
 
@@ -48,11 +49,15 @@ impl Engine for NpuOnlyEngine {
         &self.core.cfg
     }
 
-    fn prefill(&mut self, prompt_len: usize) -> PhaseReport {
+    fn try_prefill(&mut self, prompt_len: usize) -> Result<PhaseReport, EngineError> {
         self.core.run_prefill(prompt_len)
     }
 
-    fn decode(&mut self, prompt_len: usize, n_tokens: usize) -> PhaseReport {
+    fn try_decode(
+        &mut self,
+        prompt_len: usize,
+        n_tokens: usize,
+    ) -> Result<PhaseReport, EngineError> {
         self.core.run_decode(prompt_len, n_tokens)
     }
 

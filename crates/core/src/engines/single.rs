@@ -10,6 +10,7 @@ use hetero_soc::gpu::GpuModel;
 use hetero_soc::{calib, Backend, Soc, SocConfig};
 
 use crate::engines::{llama_cpp_soc_config, Engine};
+use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::PhaseReport;
 use crate::trace::{decode_trace, prefill_trace, PhaseTrace};
@@ -109,26 +110,30 @@ impl Engine for SingleBackendEngine {
         &self.cfg
     }
 
-    fn prefill(&mut self, prompt_len: usize) -> PhaseReport {
+    fn try_prefill(&mut self, prompt_len: usize) -> Result<PhaseReport, EngineError> {
         let start = self.soc.clock();
         let trace = prefill_trace(&self.cfg, prompt_len);
         self.run_trace(&trace);
-        PhaseReport {
+        Ok(PhaseReport {
             tokens: prompt_len,
             elapsed: self.soc.clock() - start,
-        }
+        })
     }
 
-    fn decode(&mut self, prompt_len: usize, n_tokens: usize) -> PhaseReport {
+    fn try_decode(
+        &mut self,
+        prompt_len: usize,
+        n_tokens: usize,
+    ) -> Result<PhaseReport, EngineError> {
         let start = self.soc.clock();
         for t in 0..n_tokens {
             let trace = decode_trace(&self.cfg, prompt_len + t + 1, 1);
             self.run_trace(&trace);
         }
-        PhaseReport {
+        Ok(PhaseReport {
             tokens: n_tokens,
             elapsed: self.soc.clock() - start,
-        }
+        })
     }
 
     fn soc(&self) -> &Soc {

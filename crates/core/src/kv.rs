@@ -72,6 +72,7 @@ impl KvCache {
                 ),
             });
         }
+        self.check_layer(layer)?;
         let k = &mut self.k[layer];
         let v = &mut self.v[layer];
         for r in 0..rows {
@@ -89,12 +90,23 @@ impl KvCache {
 
     /// Keys of `layer` up to `ctx` rows (a copy; `[ctx, kv_dim]`).
     pub fn keys(&self, layer: usize, ctx: usize) -> Result<Tensor> {
+        self.check_layer(layer)?;
         self.k[layer].slice_rows(0, ctx)
     }
 
     /// Values of `layer` up to `ctx` rows.
     pub fn values(&self, layer: usize, ctx: usize) -> Result<Tensor> {
+        self.check_layer(layer)?;
         self.v[layer].slice_rows(0, ctx)
+    }
+
+    fn check_layer(&self, layer: usize) -> Result<()> {
+        if layer >= self.k.len() {
+            return Err(TensorError::OutOfBounds {
+                context: format!("kv layer {layer} out of range ({} layers)", self.k.len()),
+            });
+        }
+        Ok(())
     }
 
     /// Bytes one decode step must read from the cache across all layers
@@ -177,6 +189,17 @@ mod tests {
         kv.clear();
         assert!(kv.is_empty());
         assert_eq!(kv.capacity(), 8);
+    }
+
+    #[test]
+    fn out_of_range_layer_is_a_typed_error() {
+        let mut kv = KvCache::new(2, 8, 2);
+        let t = filled(1, 2, 0.0);
+        assert!(kv.append(2, &t, &t).is_err());
+        assert!(kv.keys(2, 0).is_err());
+        assert!(kv.values(5, 0).is_err());
+        // In-range layers still work.
+        assert!(kv.append(1, &t, &t).is_ok());
     }
 
     #[test]

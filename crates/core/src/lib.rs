@@ -30,16 +30,20 @@
 pub mod api;
 pub mod coldstart;
 pub mod engines;
+pub mod error;
 pub mod functional;
 pub mod functional_engine;
 pub mod kv;
 pub mod mempool;
 pub mod model;
 pub mod report;
+pub mod runtime;
 pub mod spec_decode;
 pub mod trace;
 
 pub use api::InferenceSession;
 pub use engines::{Engine, EngineKind};
+pub use error::EngineError;
 pub use model::ModelConfig;
 pub use report::PhaseReport;
+pub use runtime::RuntimeController;

@@ -33,6 +33,57 @@ impl PhaseReport {
     }
 }
 
+/// Degradation metrics of a disturbed multi-request run.
+///
+/// All fields are integers or [`SimTime`] (integer nanoseconds) so the
+/// serialized report is byte-identical across runs with the same seed;
+/// derived rates are computed on demand.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationSummary {
+    /// Requests offered to the engine.
+    pub total_requests: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests shed by the admission controller under backlog.
+    pub shed: usize,
+    /// Completed requests that missed the TTFT or TPOT SLO.
+    pub slo_violations: usize,
+    /// Median time-to-first-token over completed requests
+    /// (queueing + recovery overheads included).
+    pub p50_ttft: SimTime,
+    /// 99th-percentile time-to-first-token.
+    pub p99_ttft: SimTime,
+    /// Median time-per-output-token.
+    pub p50_tpot: SimTime,
+    /// 99th-percentile time-per-output-token.
+    pub p99_tpot: SimTime,
+    /// Partition-plan re-solves against a disturbance-adjusted profile.
+    pub replans: usize,
+    /// Backend fallbacks (tensor-hybrid → GPU-only or NPU-only).
+    pub fallbacks: usize,
+    /// Rendezvous retry attempts paid across the run.
+    pub sync_retries: usize,
+    /// Sync-mechanism downgrades (fast → driver) after retry budget
+    /// exhaustion.
+    pub sync_downgrades: usize,
+    /// Mean time from a disturbance window closing to the first
+    /// SLO-meeting completion, over recovered windows.
+    pub mean_recovery: SimTime,
+    /// Disturbance windows with no SLO-meeting completion afterwards.
+    pub unrecovered: usize,
+}
+
+impl DegradationSummary {
+    /// Fraction of offered requests that violated their SLO or were
+    /// shed outright.
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 0.0;
+        }
+        (self.slo_violations + self.shed) as f64 / self.total_requests as f64
+    }
+}
+
 /// A full prefill + decode session summary.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SessionReport {
@@ -46,6 +97,9 @@ pub struct SessionReport {
     pub decode: PhaseReport,
     /// Power/energy over the whole session.
     pub power: PowerReport,
+    /// Degradation metrics when the session ran under a disturbance
+    /// trace (`None` for quiet single-request sessions).
+    pub degradation: Option<DegradationSummary>,
 }
 
 impl SessionReport {

@@ -1,0 +1,671 @@
+//! Adaptive runtime degradation controller.
+//!
+//! The paper characterizes the SoC under *dynamic* conditions — FIFO
+//! GPU queue contention from rendering (Fig. 18), thermal throttling
+//! under sustained load (§4) — but the engines themselves plan once,
+//! at calibration time. This module closes the loop: a
+//! [`RuntimeController`] serves a stream of inference requests while a
+//! seeded [`DisturbanceTrace`](hetero_soc::disturb::DisturbanceTrace)
+//! perturbs the SoC, watches per-phase SLO deadlines, and reacts:
+//!
+//! - **Replan**: re-solve the tensor partition against the
+//!   disturbance-adjusted profile
+//!   ([`SocCondition::apply_to`](hetero_soc::disturb::SocCondition)),
+//!   so row/hybrid cut ratios track the SoC as it is now.
+//! - **Backend fallback**: under severe one-sided degradation (NPU
+//!   claimed by another subsystem, GPU saturated by rendering), drop
+//!   from tensor-hybrid execution to the healthy backend alone.
+//! - **Sync downgrade**: when fast-sync rendezvous turn flaky, retry
+//!   with bounded exponential backoff; past the retry budget, route
+//!   the affected rendezvous through the reliable (slower) driver
+//!   path; restore fast sync once the window passes.
+//! - **Load shedding**: refuse requests whose queueing delay already
+//!   exceeds the TTFT budget, so a backlog cannot push every
+//!   subsequent request over its SLO.
+//!
+//! A *static* controller (`adaptive = false`) runs the same engine
+//! under the same disturbances with none of the reactions — the
+//! baseline every `fault_sweep` comparison is made against.
+
+use hetero_soc::disturb::{DisturbanceTrace, SocCondition, Timeline};
+use hetero_soc::power::PowerReport;
+use hetero_soc::sync::{Dominance, SyncMechanism, SyncModel};
+use hetero_soc::{SimTime, SocConfig};
+use hetero_solver::PartitionPlan;
+use hetero_tensor::rng::splitmix64;
+use hetero_tensor::shape::MatmulShape;
+use serde::{Deserialize, Serialize};
+
+use crate::engines::hetero_tensor::HeteroTensorEngine;
+use crate::engines::{hetero_soc_config, Engine, EngineKind};
+use crate::error::EngineError;
+use crate::model::ModelConfig;
+use crate::report::{DegradationSummary, SessionReport};
+
+/// Longest prompt the traffic generator emits; SLO calibration probes
+/// at this length so every quiet request has headroom.
+pub const MAX_PROMPT: usize = 512;
+
+/// One inference request in an arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// When the request arrives at the engine.
+    pub arrival: SimTime,
+    /// Prompt tokens to prefill.
+    pub prompt_tokens: usize,
+    /// Tokens to decode.
+    pub response_tokens: usize,
+}
+
+/// A seeded stream of conversation-style requests: arrival gaps are
+/// 25–175% of `mean_gap`, prompts 64..[`MAX_PROMPT`] tokens, responses
+/// 8..64 tokens. Same seed, same stream.
+pub fn conversation_traffic(seed: u64, count: usize, mean_gap: SimTime) -> Vec<InferenceRequest> {
+    let mut arrival = SimTime::ZERO;
+    (0..count as u64)
+        .map(|i| {
+            let pct = 25 + draw(seed, 3 * i) % 150;
+            arrival += SimTime::from_nanos(mean_gap.as_nanos() * pct / 100);
+            InferenceRequest {
+                arrival,
+                prompt_tokens: 64 + (draw(seed, 3 * i + 1) % (MAX_PROMPT as u64 - 64)) as usize,
+                response_tokens: 8 + (draw(seed, 3 * i + 2) % 56) as usize,
+            }
+        })
+        .collect()
+}
+
+/// The `i`-th draw of a splitmix64 stream over `seed` (the same
+/// decorrelation scheme `hetero_soc::disturb` uses).
+fn draw(seed: u64, i: u64) -> u64 {
+    splitmix64(seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Service-level objectives the watchdog enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloPolicy {
+    /// Time-to-first-token budget (queueing included).
+    pub ttft: SimTime,
+    /// Time-per-output-token budget.
+    pub tpot: SimTime,
+    /// Consecutive SLO violations before the watchdog forces a backend
+    /// fallback even without a severe condition reading.
+    pub streak: usize,
+    /// Queueing delay beyond which a request is shed: once the wait
+    /// alone exceeds this, the TTFT SLO is unmeetable.
+    pub shed_wait: SimTime,
+}
+
+impl SloPolicy {
+    /// Calibrate SLOs from a quiet run of the tensor-hybrid engine at
+    /// the worst-case prompt length: TTFT budget is 3x the quiet TTFT
+    /// (headroom for queueing and mild disturbances), TPOT budget 2x
+    /// the quiet TPOT.
+    pub fn calibrated(model: &ModelConfig) -> Self {
+        let mut probe = HeteroTensorEngine::new(model, SyncMechanism::Fast);
+        let prefill = probe.prefill(MAX_PROMPT);
+        let decode = probe.decode(MAX_PROMPT, 16);
+        let ttft = SimTime::from_nanos(prefill.elapsed.as_nanos() * 3);
+        Self {
+            ttft,
+            tpot: SimTime::from_nanos(decode.per_token().as_nanos() * 2),
+            streak: 3,
+            shed_wait: ttft,
+        }
+    }
+}
+
+/// Controller configuration: the SLO policy plus reaction knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Deadlines the watchdog checks every request against.
+    pub slo: SloPolicy,
+    /// Whether the controller reacts at all; `false` is the static
+    /// baseline that keeps its calibration-time plans throughout.
+    pub adaptive: bool,
+    /// Flaky-rendezvous retries tolerated per rendezvous before the
+    /// sync mechanism is downgraded to the driver path.
+    pub max_sync_retries: u32,
+    /// Backoff before the first rendezvous retry; doubles per attempt.
+    pub retry_backoff: SimTime,
+    /// Charged once per replan, fallback, or sync-mechanism switch
+    /// (solver re-solve + graph swap on the real runtime).
+    pub replan_overhead: SimTime,
+}
+
+impl ControllerConfig {
+    /// An adaptive controller with default reaction knobs.
+    pub fn adaptive(slo: SloPolicy) -> Self {
+        Self {
+            slo,
+            adaptive: true,
+            max_sync_retries: 1,
+            retry_backoff: SimTime::from_micros(500),
+            replan_overhead: SimTime::from_millis(5),
+        }
+    }
+
+    /// The static baseline: same SLO accounting, no reactions.
+    pub fn static_baseline(slo: SloPolicy) -> Self {
+        Self {
+            adaptive: false,
+            ..Self::adaptive(slo)
+        }
+    }
+}
+
+/// A partition plan the controller adopted while reacting, kept for
+/// offline invariant checking (`hetero-analyze`'s fallback-integrity
+/// rule).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanRecord {
+    /// Logical matmul the plan covers.
+    pub op: String,
+    /// Rows (sequence length) the plan was solved at.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// The adopted plan.
+    pub plan: PartitionPlan,
+}
+
+/// Everything a disturbed multi-request run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Whether the adaptive reactions were enabled.
+    pub adaptive: bool,
+    /// Seed of the disturbance trace the run was driven by.
+    pub seed: u64,
+    /// Degradation metrics (duplicated into `session.degradation`).
+    pub summary: DegradationSummary,
+    /// Aggregate session totals; `degradation` is always `Some`.
+    pub session: SessionReport,
+    /// Plans adopted by replans and fallbacks, in adoption order.
+    pub fallback_plans: Vec<PlanRecord>,
+}
+
+/// Which engine currently serves requests.
+enum ActiveEngine {
+    /// The tensor-hybrid primary (replannable, concrete type so the
+    /// controller can extract its partition plans).
+    Primary(Box<HeteroTensorEngine>),
+    /// A single-backend fallback engine.
+    Fallback(Box<dyn Engine>),
+}
+
+impl ActiveEngine {
+    fn as_engine(&mut self) -> &mut dyn Engine {
+        match self {
+            ActiveEngine::Primary(e) => e.as_mut(),
+            ActiveEngine::Fallback(b) => b.as_mut(),
+        }
+    }
+}
+
+/// Serves a request stream under a disturbance trace, reacting (or
+/// not) per its [`ControllerConfig`]; see the module docs for the
+/// reaction policy.
+///
+/// A controller instance runs one stream: build a fresh one per
+/// experiment arm.
+pub struct RuntimeController {
+    model: ModelConfig,
+    cfg: ControllerConfig,
+    sync: SyncMechanism,
+    engine: ActiveEngine,
+    /// Quiet-SoC config of the *current* engine; execution-time
+    /// conditions are always applied to this pristine base so derates
+    /// never compound across requests.
+    pristine: SocConfig,
+    /// Condition the current engine's plans were solved under.
+    planned: SocCondition,
+    now: SimTime,
+    energy_j: f64,
+    slow_streak: usize,
+    /// Whether flagged rendezvous currently route through the driver
+    /// path (adaptive reaction to a flaky window).
+    sync_downgraded: bool,
+    ttfts: Vec<SimTime>,
+    tpots: Vec<SimTime>,
+    /// `(completion time, met SLO)` per completed request, in order.
+    completions: Vec<(SimTime, bool)>,
+    fallback_plans: Vec<PlanRecord>,
+    shed: usize,
+    slo_violations: usize,
+    replans: usize,
+    fallbacks: usize,
+    sync_retries: usize,
+    sync_downgrades: usize,
+    prefill_tokens: usize,
+    prefill_time: SimTime,
+    decode_tokens: usize,
+    decode_time: SimTime,
+}
+
+impl RuntimeController {
+    /// A controller serving `model` on the tensor-hybrid engine with
+    /// fast synchronization.
+    pub fn new(model: &ModelConfig, cfg: ControllerConfig) -> Self {
+        let sync = SyncMechanism::Fast;
+        let engine = HeteroTensorEngine::new(model, sync);
+        let pristine = engine.soc().config().clone();
+        Self {
+            model: model.clone(),
+            cfg,
+            sync,
+            engine: ActiveEngine::Primary(Box::new(engine)),
+            pristine,
+            planned: SocCondition::quiet(),
+            now: SimTime::ZERO,
+            energy_j: 0.0,
+            slow_streak: 0,
+            sync_downgraded: false,
+            ttfts: Vec::new(),
+            tpots: Vec::new(),
+            completions: Vec::new(),
+            fallback_plans: Vec::new(),
+            shed: 0,
+            slo_violations: 0,
+            replans: 0,
+            fallbacks: 0,
+            sync_retries: 0,
+            sync_downgrades: 0,
+            prefill_tokens: 0,
+            prefill_time: SimTime::ZERO,
+            decode_tokens: 0,
+            decode_time: SimTime::ZERO,
+        }
+    }
+
+    /// Serve `requests` in arrival order while `trace` disturbs the
+    /// SoC; returns the aggregated [`DegradationReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Causality`] if the trace is malformed (a window
+    /// ending before it starts); any [`EngineError`] an engine phase
+    /// surfaces.
+    pub fn run(
+        &mut self,
+        requests: &[InferenceRequest],
+        trace: &DisturbanceTrace,
+    ) -> Result<DegradationReport, EngineError> {
+        let timeline = trace.timeline()?;
+        for req in requests {
+            self.serve(req, &timeline)?;
+        }
+        self.energy_j += self.engine.as_engine().finish().energy_j;
+
+        // Recovery time per disturbance window: from the window closing
+        // to the first SLO-meeting completion after it.
+        let mut recovered = 0usize;
+        let mut unrecovered = 0usize;
+        let mut recovery_total = SimTime::ZERO;
+        for w in &trace.windows {
+            match self.completions.iter().find(|(t, met)| *met && *t >= w.end) {
+                Some((t, _)) => {
+                    recovered += 1;
+                    recovery_total += t.saturating_sub(w.end);
+                }
+                None => unrecovered += 1,
+            }
+        }
+        let mean_recovery = if recovered == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_nanos(recovery_total.as_nanos() / recovered as u64)
+        };
+
+        let mut ttfts = self.ttfts.clone();
+        let mut tpots = self.tpots.clone();
+        ttfts.sort_unstable();
+        tpots.sort_unstable();
+        let summary = DegradationSummary {
+            total_requests: requests.len(),
+            completed: self.completions.len(),
+            shed: self.shed,
+            slo_violations: self.slo_violations,
+            p50_ttft: percentile(&ttfts, 50),
+            p99_ttft: percentile(&ttfts, 99),
+            p50_tpot: percentile(&tpots, 50),
+            p99_tpot: percentile(&tpots, 99),
+            replans: self.replans,
+            fallbacks: self.fallbacks,
+            sync_retries: self.sync_retries,
+            sync_downgrades: self.sync_downgrades,
+            mean_recovery,
+            unrecovered,
+        };
+        let secs = self.now.as_secs_f64();
+        let session = SessionReport {
+            engine: if self.cfg.adaptive {
+                "Runtime-adaptive".to_string()
+            } else {
+                "Runtime-static".to_string()
+            },
+            model: self.model.name.clone(),
+            prefill: crate::report::PhaseReport {
+                tokens: self.prefill_tokens,
+                elapsed: self.prefill_time,
+            },
+            decode: crate::report::PhaseReport {
+                tokens: self.decode_tokens,
+                elapsed: self.decode_time,
+            },
+            power: PowerReport {
+                avg_power_w: if secs > 0.0 {
+                    self.energy_j / secs
+                } else {
+                    0.0
+                },
+                energy_j: self.energy_j,
+                makespan: self.now,
+            },
+            degradation: Some(summary.clone()),
+        };
+        Ok(DegradationReport {
+            adaptive: self.cfg.adaptive,
+            seed: trace.seed,
+            summary,
+            session,
+            fallback_plans: self.fallback_plans.clone(),
+        })
+    }
+
+    fn serve(&mut self, req: &InferenceRequest, timeline: &Timeline) -> Result<(), EngineError> {
+        let start = self.now.max(req.arrival);
+        let wait = start.saturating_sub(req.arrival);
+        let cond = timeline.condition_at(start).clone();
+
+        // React to the current condition even for requests about to be
+        // shed — restoring a downgraded sync path or a fallen-back
+        // backend must not wait for an admissible request.
+        let mut overhead = SimTime::ZERO;
+        if self.cfg.adaptive {
+            overhead += self.adapt(&cond);
+        }
+        if self.cfg.adaptive && wait > self.cfg.slo.shed_wait {
+            // The TTFT budget is already spent queueing: shed rather
+            // than serve a guaranteed violation and deepen the backlog.
+            self.shed += 1;
+            self.now = start + overhead;
+            return Ok(());
+        }
+        overhead += self.sync_penalty(&cond);
+
+        // Execution always experiences the disturbance, adaptive or
+        // not; derates apply to the pristine base so they never stack.
+        let exec_cfg = cond.apply_to(&self.pristine);
+        let engine = self.engine.as_engine();
+        engine.soc_mut().set_config(exec_cfg);
+        let prefill = engine.try_prefill(req.prompt_tokens)?;
+        let decode = engine.try_decode(req.prompt_tokens, req.response_tokens)?;
+
+        let ttft = wait + overhead + prefill.elapsed;
+        let tpot = decode.per_token();
+        self.now = start + overhead + prefill.elapsed + decode.elapsed;
+        let met = ttft <= self.cfg.slo.ttft && tpot <= self.cfg.slo.tpot;
+        if met {
+            self.slow_streak = 0;
+        } else {
+            self.slo_violations += 1;
+            self.slow_streak += 1;
+        }
+        self.ttfts.push(ttft);
+        self.tpots.push(tpot);
+        self.completions.push((self.now, met));
+        self.prefill_tokens += prefill.tokens;
+        self.prefill_time += prefill.elapsed;
+        self.decode_tokens += decode.tokens;
+        self.decode_time += decode.elapsed;
+        Ok(())
+    }
+
+    /// Apply the adaptive reaction policy for the condition at this
+    /// request's start; returns the reaction overhead charged.
+    fn adapt(&mut self, cond: &SocCondition) -> SimTime {
+        let mut overhead = SimTime::ZERO;
+
+        // Sync downgrade / restore reacts to the flaky window itself:
+        // past the retry budget, flagged rendezvous go through the
+        // driver path (priced in `sync_penalty`) until the window ends.
+        if cond.sync_failures > self.cfg.max_sync_retries && !self.sync_downgraded {
+            self.sync_downgraded = true;
+            self.sync_downgrades += 1;
+        } else if cond.sync_failures == 0 && self.sync_downgraded {
+            self.sync_downgraded = false;
+        }
+
+        let npu_eff = cond.npu_derate * cond.thermal_factor;
+        let gpu_eff = cond.gpu_derate * cond.thermal_factor;
+        let severe = npu_eff < 0.2 || gpu_eff < 0.2;
+        let watchdog = self.slow_streak >= self.cfg.slo.streak;
+        match &self.engine {
+            ActiveEngine::Primary(_) if severe || watchdog => {
+                // Backend fallback: run on the healthy backend alone.
+                let (kind, plan) = if npu_eff <= gpu_eff {
+                    (EngineKind::PplOpenCl, PartitionPlan::GpuOnly)
+                } else {
+                    (
+                        EngineKind::NpuPipe,
+                        PartitionPlan::NpuOnly { padded_m: 256 },
+                    )
+                };
+                self.energy_j += self.engine.as_engine().finish().energy_j;
+                let engine = kind.build(&self.model, self.sync);
+                self.pristine = engine.soc().config().clone();
+                self.engine = ActiveEngine::Fallback(engine);
+                self.planned = cond.clone();
+                self.fallbacks += 1;
+                self.slow_streak = 0;
+                self.record_plans_uniform(&plan);
+                overhead += self.cfg.replan_overhead;
+            }
+            ActiveEngine::Fallback(_) if cond.is_quiet() => {
+                // Disturbance passed: restore the tensor-hybrid primary.
+                overhead += self.rebuild(cond);
+            }
+            ActiveEngine::Primary(_) if *cond != self.planned => {
+                // Re-solve the partition against the adjusted profile.
+                self.replans += 1;
+                overhead += self.rebuild(cond);
+                self.record_primary_plans();
+            }
+            _ => {}
+        }
+        overhead
+    }
+
+    /// Replace the active engine with a primary re-planned for `cond`
+    /// under the current sync mechanism.
+    fn rebuild(&mut self, cond: &SocCondition) -> SimTime {
+        self.energy_j += self.engine.as_engine().finish().energy_j;
+        let quiet_base = hetero_soc_config(self.sync);
+        let engine = HeteroTensorEngine::with_soc_config(&self.model, cond.apply_to(&quiet_base));
+        self.pristine = quiet_base;
+        self.engine = ActiveEngine::Primary(Box::new(engine));
+        self.planned = cond.clone();
+        self.cfg.replan_overhead
+    }
+
+    /// Record the primary engine's current plans for the model's
+    /// weight matmuls at the standard prefill shape.
+    fn record_primary_plans(&mut self) {
+        let ops = self.model.matmul_ops();
+        if let ActiveEngine::Primary(engine) = &mut self.engine {
+            for (op, k, n) in ops {
+                let plan = engine.plan_for(op, MatmulShape::new(256, k, n));
+                self.fallback_plans.push(PlanRecord {
+                    op: op.to_string(),
+                    m: 256,
+                    k,
+                    n,
+                    plan,
+                });
+            }
+        }
+    }
+
+    /// Record one degenerate plan per weight matmul (what a
+    /// single-backend fallback effectively runs).
+    fn record_plans_uniform(&mut self, plan: &PartitionPlan) {
+        for (op, k, n) in self.model.matmul_ops() {
+            self.fallback_plans.push(PlanRecord {
+                op: op.to_string(),
+                m: 256,
+                k,
+                n,
+                plan: plan.clone(),
+            });
+        }
+    }
+
+    /// Extra latency paid to flaky rendezvous this request.
+    ///
+    /// Only the tensor-hybrid primary rendezvouses across backends;
+    /// single-backend fallbacks are unaffected. One merge rendezvous
+    /// per layer is exposed to the race. Retries back off
+    /// exponentially — `backoff * (2^attempts - 1)` per rendezvous —
+    /// and the static baseline retries for every failure. An adaptive
+    /// controller caps attempts at its retry budget and, once
+    /// downgraded, pays the driver path's fixed rendezvous cost
+    /// instead (reliable, no retries).
+    fn sync_penalty(&mut self, cond: &SocCondition) -> SimTime {
+        if cond.sync_failures == 0 || !matches!(self.engine, ActiveEngine::Primary(_)) {
+            return SimTime::ZERO;
+        }
+        let per_rendezvous = if self.cfg.adaptive && self.sync_downgraded {
+            SyncModel::new(SyncMechanism::Driver)
+                .rendezvous(Dominance::NpuDominant)
+                .as_nanos()
+        } else {
+            let attempts = if self.cfg.adaptive {
+                cond.sync_failures.min(self.cfg.max_sync_retries)
+            } else {
+                cond.sync_failures
+            };
+            self.sync_retries += attempts as usize;
+            self.cfg.retry_backoff.as_nanos() * ((1u64 << attempts) - 1)
+        };
+        SimTime::from_nanos(per_rendezvous * self.model.layers as u64)
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[SimTime], pct: usize) -> SimTime {
+    if sorted.is_empty() {
+        return SimTime::ZERO;
+    }
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_run(adaptive: bool, seed: u64) -> DegradationReport {
+        let model = ModelConfig::internlm_1_8b();
+        let slo = SloPolicy::calibrated(&model);
+        let cfg = if adaptive {
+            ControllerConfig::adaptive(slo)
+        } else {
+            ControllerConfig::static_baseline(slo)
+        };
+        let requests = conversation_traffic(seed, 24, SimTime::from_millis(500));
+        let trace = DisturbanceTrace::standard(seed);
+        RuntimeController::new(&model, cfg)
+            .run(&requests, &trace)
+            .expect("standard trace is well-formed")
+    }
+
+    #[test]
+    fn quiet_trace_meets_slo_everywhere() {
+        let model = ModelConfig::internlm_1_8b();
+        let slo = SloPolicy::calibrated(&model);
+        let requests = conversation_traffic(7, 8, SimTime::from_millis(1200));
+        let trace = DisturbanceTrace::new(7); // no windows
+        let report = RuntimeController::new(&model, ControllerConfig::adaptive(slo))
+            .run(&requests, &trace)
+            .unwrap();
+        assert_eq!(report.summary.slo_violations, 0);
+        assert_eq!(report.summary.shed, 0);
+        assert_eq!(report.summary.fallbacks, 0);
+        assert_eq!(report.summary.completed, 8);
+        assert!(report.session.power.energy_j > 0.0);
+    }
+
+    #[test]
+    fn adaptive_reacts_under_standard_trace() {
+        let report = small_run(true, 42);
+        // The NPU-unavailable window forces a severe one-sided derate:
+        // the controller must fall back, and condition changes must
+        // trigger replans with recorded plans.
+        assert!(report.summary.fallbacks >= 1, "{:?}", report.summary);
+        assert!(report.summary.replans >= 1, "{:?}", report.summary);
+        assert!(!report.fallback_plans.is_empty());
+        assert!(report.summary.sync_retries + report.summary.sync_downgrades >= 1);
+        assert!(report.session.degradation.is_some());
+    }
+
+    #[test]
+    fn adaptive_beats_static_p99_ttft() {
+        let adaptive = small_run(true, 42);
+        let r#static = small_run(false, 42);
+        assert!(
+            adaptive.summary.p99_ttft < r#static.summary.p99_ttft,
+            "adaptive p99 TTFT {:?} must degrade strictly less than static {:?}",
+            adaptive.summary.p99_ttft,
+            r#static.summary.p99_ttft
+        );
+        assert!(adaptive.summary.slo_violation_rate() <= r#static.summary.slo_violation_rate());
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let a = serde_json::to_string(&small_run(true, 11)).unwrap();
+        let b = serde_json::to_string(&small_run(true, 11)).unwrap();
+        assert_eq!(a, b);
+        let c = serde_json::to_string(&small_run(true, 12)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn traffic_is_seeded_and_monotone() {
+        let a = conversation_traffic(3, 16, SimTime::from_millis(100));
+        let b = conversation_traffic(3, 16, SimTime::from_millis(100));
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+        }
+        for r in &a {
+            assert!((64..MAX_PROMPT).contains(&r.prompt_tokens));
+            assert!((8..64).contains(&r.response_tokens));
+        }
+    }
+
+    #[test]
+    fn malformed_trace_is_a_typed_error() {
+        let model = ModelConfig::tiny();
+        let slo = SloPolicy::calibrated(&model);
+        let trace = DisturbanceTrace::new(0).with(
+            SimTime::from_millis(100),
+            SimTime::from_millis(50),
+            hetero_soc::disturb::Disturbance::NpuUnavailable,
+        );
+        let err = RuntimeController::new(&model, ControllerConfig::adaptive(slo))
+            .run(&[], &trace)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Causality(_)));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<SimTime> = (1..=100).map(SimTime::from_nanos).collect();
+        assert_eq!(percentile(&v, 50), SimTime::from_nanos(50));
+        assert_eq!(percentile(&v, 99), SimTime::from_nanos(99));
+        assert_eq!(percentile(&v, 100), SimTime::from_nanos(100));
+        assert_eq!(percentile(&[], 50), SimTime::ZERO);
+    }
+}

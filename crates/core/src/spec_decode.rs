@@ -18,6 +18,7 @@ use hetero_solver::{PlanTable, Solver, SolverConfig};
 
 use crate::engines::hetero_tensor::HeteroTensorEngine;
 use crate::engines::{gpu_kernel, hetero_soc_config, Engine};
+use crate::error::EngineError;
 use crate::trace::{decode_trace, OpRole};
 
 /// Outcome of a speculative decoding run.
@@ -53,7 +54,7 @@ pub fn run_speculative_hetero(
     prompt_len: usize,
     verify_rows: usize,
     step_commits: &[usize],
-) -> SpecDecodeReport {
+) -> Result<SpecDecodeReport, EngineError> {
     assert!(verify_rows >= 1, "verify at least one row");
     let model = engine.model().clone();
     // Plans for the speculative decode shape: graphs exist for the
@@ -76,7 +77,7 @@ pub fn run_speculative_hetero(
         for op in &ops {
             match op.role {
                 OpRole::WeightMatmul => {
-                    let shape = op.shape.expect("weight matmuls carry shapes");
+                    let shape = op.shape.ok_or(EngineError::MissingShape { op: op.op })?;
                     let choice = table.get_or_solve(&solver, op.op, shape, Dominance::GpuDominant);
                     engine.execute_plan_pub(&choice.plan, shape, Dominance::GpuDominant);
                 }
@@ -86,11 +87,11 @@ pub fn run_speculative_hetero(
         ctx += commit;
         committed += commit;
     }
-    SpecDecodeReport {
+    Ok(SpecDecodeReport {
         steps: step_commits.len(),
         committed_tokens: committed,
         elapsed: engine.soc().clock() - start,
-    }
+    })
 }
 
 /// Speculative decoding on a GPU-only baseline engine, for comparison.
@@ -99,7 +100,7 @@ pub fn run_speculative_gpu(
     prompt_len: usize,
     verify_rows: usize,
     step_commits: &[usize],
-) -> SpecDecodeReport {
+) -> Result<SpecDecodeReport, EngineError> {
     let model = engine.model().clone();
     let start = engine.soc().clock();
     let mut ctx = prompt_len;
@@ -109,7 +110,9 @@ pub fn run_speculative_gpu(
         let ops: Vec<_> = trace.iter_all().cloned().collect();
         for op in &ops {
             let kernel = match op.role {
-                OpRole::WeightMatmul => gpu_kernel(op.shape.expect("shape")),
+                OpRole::WeightMatmul => {
+                    gpu_kernel(op.shape.ok_or(EngineError::MissingShape { op: op.op })?)
+                }
                 _ => op.kernel.clone(),
             };
             engine
@@ -119,11 +122,11 @@ pub fn run_speculative_gpu(
         ctx += commit;
         committed += commit;
     }
-    SpecDecodeReport {
+    Ok(SpecDecodeReport {
         steps: step_commits.len(),
         committed_tokens: committed,
         elapsed: engine.soc().clock() - start,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -171,7 +174,7 @@ mod tests {
         let commits = simulate_steps_shim(4, 0.8, 48, 7);
 
         let mut spec_engine = HeteroTensorEngine::new(&model, SyncMechanism::Fast);
-        let spec = run_speculative_hetero(&mut spec_engine, 256, 5, &commits);
+        let spec = run_speculative_hetero(&mut spec_engine, 256, 5, &commits).unwrap();
 
         let mut std_engine = HeteroTensorEngine::new(&model, SyncMechanism::Fast);
         let std_report = std_engine.decode(256, 48);
@@ -193,7 +196,7 @@ mod tests {
         let mean_commit = commits.iter().sum::<usize>() as f64 / commits.len() as f64;
 
         let mut spec_engine = HeteroTensorEngine::new(&model, SyncMechanism::Fast);
-        let spec = run_speculative_hetero(&mut spec_engine, 128, 5, &commits);
+        let spec = run_speculative_hetero(&mut spec_engine, 128, 5, &commits).unwrap();
         let mut std_engine = HeteroTensorEngine::new(&model, SyncMechanism::Fast);
         let std_report = std_engine.decode(128, spec.committed_tokens);
 
@@ -211,10 +214,10 @@ mod tests {
         let commits = simulate_steps_shim(4, 0.8, 32, 11);
 
         let mut gpu = SingleBackendEngine::gpu(&model, GpuTier::PplOpenCl);
-        let gpu_spec = run_speculative_gpu(&mut gpu, 128, 5, &commits);
+        let gpu_spec = run_speculative_gpu(&mut gpu, 128, 5, &commits).unwrap();
 
         let mut hetero = HeteroTensorEngine::new(&model, SyncMechanism::Fast);
-        let hetero_spec = run_speculative_hetero(&mut hetero, 128, 5, &commits);
+        let hetero_spec = run_speculative_hetero(&mut hetero, 128, 5, &commits).unwrap();
 
         assert!(
             hetero_spec.tokens_per_sec() > gpu_spec.tokens_per_sec() * 1.05,
@@ -228,7 +231,7 @@ mod tests {
     fn empty_steps_are_a_noop() {
         let model = ModelConfig::llama_3b();
         let mut e = HeteroTensorEngine::new(&model, SyncMechanism::Fast);
-        let r = run_speculative_hetero(&mut e, 128, 4, &[]);
+        let r = run_speculative_hetero(&mut e, 128, 4, &[]).unwrap();
         assert_eq!(r.committed_tokens, 0);
         assert_eq!(r.elapsed, hetero_soc::SimTime::ZERO);
     }

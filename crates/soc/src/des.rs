@@ -12,6 +12,32 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// Scheduling a past event would violate causality.
+///
+/// Returned by [`EventQueue::try_schedule`] so callers feeding the
+/// queue from *external* inputs (disturbance traces, user-supplied
+/// schedules) can reject malformed data instead of crashing the
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalityError {
+    /// The queue's current time when the violation occurred.
+    pub now: SimTime,
+    /// The (past) time the event was scheduled for.
+    pub at: SimTime,
+}
+
+impl core::fmt::Display for CausalityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "cannot schedule into the past: event at {} but the clock is at {}",
+            self.at, self.now
+        )
+    }
+}
+
+impl std::error::Error for CausalityError {}
+
 /// An event: fires at `at`; ties break by insertion order (FIFO).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Scheduled<E> {
@@ -83,11 +109,29 @@ impl<E: Eq> EventQueue<E> {
 
     /// Schedule `payload` at absolute time `at`.
     ///
+    /// Internal invariant paths use this form: a violation is a
+    /// simulator bug, so it panics. Paths fed by *external* inputs
+    /// (disturbance traces) must use [`EventQueue::try_schedule`].
+    ///
     /// # Panics
     ///
     /// Panics if `at` is before the current time (causality violation).
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         assert!(at >= self.now, "cannot schedule into the past");
+        self.push(at, payload);
+    }
+
+    /// Schedule `payload` at absolute time `at`, returning a typed
+    /// error instead of panicking on a causality violation.
+    pub fn try_schedule(&mut self, at: SimTime, payload: E) -> Result<(), CausalityError> {
+        if at < self.now {
+            return Err(CausalityError { now: self.now, at });
+        }
+        self.push(at, payload);
+        Ok(())
+    }
+
+    fn push(&mut self, at: SimTime, payload: E) {
         self.heap.push(Scheduled {
             at,
             seq: self.next_seq,
@@ -201,6 +245,25 @@ mod tests {
         q.schedule(us(10), ());
         q.pop();
         q.schedule(us(5), ());
+    }
+
+    #[test]
+    fn try_schedule_rejects_past_events_without_panicking() {
+        let mut q = EventQueue::new();
+        q.schedule(us(10), 1u32);
+        q.pop();
+        let err = q.try_schedule(us(5), 2).expect_err("past event");
+        assert_eq!(
+            err,
+            CausalityError {
+                now: us(10),
+                at: us(5)
+            }
+        );
+        assert!(err.to_string().contains("cannot schedule into the past"));
+        // The queue is still usable after a rejected event.
+        q.try_schedule(us(10), 3).expect("boundary is allowed");
+        assert_eq!(q.pop(), Some((us(10), 3)));
     }
 
     #[test]

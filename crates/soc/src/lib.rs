@@ -32,6 +32,7 @@ pub mod backend;
 pub mod calib;
 pub mod cpu;
 pub mod des;
+pub mod disturb;
 pub mod gpu;
 pub mod interference;
 pub mod kernel;

@@ -120,6 +120,16 @@ impl Soc {
         &self.cfg
     }
 
+    /// Replace the configuration mid-run, preserving the clock, meter
+    /// and recorded trace.
+    ///
+    /// This is how a runtime controller applies a disturbance-adjusted
+    /// profile (thermal derating, bandwidth contention) to an engine
+    /// without resetting its simulated session.
+    pub fn set_config(&mut self, cfg: SocConfig) {
+        self.cfg = cfg;
+    }
+
     /// Current simulated time.
     pub fn clock(&self) -> SimTime {
         self.clock
