@@ -6,24 +6,44 @@
 //! GPU-dominant), then runs every analyzer rule on each chosen plan.
 //!
 //! ```text
-//! analyze [--json] [--model NAME] [--mechanism fast|driver]
-//!         [--seq N,N,...] [--rules]
+//! analyze [race|explore] [--json] [--model NAME]
+//!         [--mechanism fast|driver] [--seq N,N,...] [--rules]
 //! ```
+//!
+//! Subcommands:
+//!
+//! - *(none)* — the static plan/schedule lint sweep.
+//! - `race` — record concurrency event logs from real engine runs
+//!   (plus a seeded degraded controller session) and run the
+//!   vector-clock happens-before race detector over them.
+//! - `explore` — replay every legal interleaving class of each
+//!   solver-chosen plan's sync schedule and certify byte-identical
+//!   session reports.
 //!
 //! Exit status: 0 when no deny-level finding, 1 otherwise, 2 on usage
 //! errors. CI gates on this.
 
 use std::process::ExitCode;
 
-use hetero_analyze::sweep::{lint_models, DEFAULT_SEQS};
+use hetero_analyze::sweep::{
+    explore_models, lint_models, race_lint_degraded_session, race_lint_models, DEFAULT_SEQS,
+};
 use hetero_analyze::RULES;
 use hetero_soc::sync::SyncMechanism;
 use heterollm::ModelConfig;
 
-const USAGE: &str =
-    "usage: analyze [--json] [--model NAME] [--mechanism fast|driver] [--seq N,N,...] [--rules]";
+const USAGE: &str = "usage: analyze [race|explore] [--json] [--model NAME] \
+     [--mechanism fast|driver] [--seq N,N,...] [--rules]";
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Command {
+    Lint,
+    Race,
+    Explore,
+}
 
 struct Args {
+    command: Command,
     json: bool,
     help: bool,
     list_rules: bool,
@@ -34,6 +54,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        command: Command::Lint,
         json: false,
         help: false,
         list_rules: false,
@@ -41,8 +62,19 @@ fn parse_args() -> Result<Args, String> {
         mechanism: SyncMechanism::Fast,
         seqs: DEFAULT_SEQS.to_vec(),
     };
+    let mut first = true;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        let positional = first && !arg.starts_with('-');
+        first = false;
+        if positional {
+            args.command = match arg.as_str() {
+                "race" => Command::Race,
+                "explore" => Command::Explore,
+                other => return Err(format!("unknown subcommand '{other}'")),
+            };
+            continue;
+        }
         match arg.as_str() {
             "--json" => args.json = true,
             "--rules" => args.list_rules = true,
@@ -121,7 +153,47 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = lint_models(&models, &args.seqs, args.mechanism);
+    let report = match args.command {
+        Command::Lint => lint_models(&models, &args.seqs, args.mechanism),
+        Command::Race => {
+            // One representative prefill length (the paper's misaligned
+            // 300) unless the user narrowed --seq.
+            let seq = if args.seqs == DEFAULT_SEQS {
+                300
+            } else {
+                args.seqs.first().copied().unwrap_or(300)
+            };
+            let mut report = race_lint_models(&models, args.mechanism, seq);
+            for model in &models {
+                report.merge(race_lint_degraded_session(model, 42, 6));
+            }
+            report
+        }
+        Command::Explore => {
+            let seqs: &[usize] = if args.seqs == DEFAULT_SEQS {
+                &[300]
+            } else {
+                &args.seqs
+            };
+            let (report, certs) = explore_models(&models, seqs, args.mechanism);
+            if !args.json {
+                for (loc, cert) in &certs {
+                    println!(
+                        "{loc}: {} interleavings, {} classes, {}{}",
+                        cert.interleavings,
+                        cert.classes,
+                        if cert.deterministic {
+                            "deterministic"
+                        } else {
+                            "NON-DETERMINISTIC"
+                        },
+                        if cert.truncated { " (truncated)" } else { "" },
+                    );
+                }
+            }
+            report
+        }
+    };
 
     if args.json {
         println!("{}", report.to_json());
@@ -130,7 +202,7 @@ fn main() -> ExitCode {
             println!("{d}");
         }
         println!(
-            "checked {} plans: {} deny, {} warn",
+            "checked {} artifacts: {} deny, {} warn",
             report.summary.checked, report.summary.deny, report.summary.warn
         );
     }

@@ -117,6 +117,15 @@ impl Report {
         self.findings.extend(findings);
     }
 
+    /// Fold another report into this one, summing its counts (used to
+    /// combine independently produced sweep reports).
+    pub fn merge(&mut self, other: Report) {
+        self.summary.checked += other.summary.checked;
+        self.summary.deny += other.summary.deny;
+        self.summary.warn += other.summary.warn;
+        self.findings.extend(other.findings);
+    }
+
     /// Whether no deny-level finding was recorded.
     pub fn is_clean(&self) -> bool {
         self.summary.deny == 0

@@ -18,6 +18,17 @@
 //! | `sync-schedule`      | deny | submission graph acyclic, rendezvous two-sided (§4.2) |
 //! | `mempool-aliasing`   | deny | live pooled tensors never overlap (§4.2) |
 //! | `fallback-integrity` | deny | degradation-time plans keep every invariant, acyclic under retry rescheduling (§4.2) |
+//! | `data-race`          | deny | conflicting buffer accesses ordered by signal→wait or queue edges (§4.2) |
+//! | `unsynchronized-reuse` | deny | pool slots recycle only across ordered lifetime boundaries (§4.2) |
+//! | `lost-signal`        | deny | every wait observes a flag some actor signals (§4.2) |
+//! | `interleaving-determinism` | deny | all legal interleavings yield one byte-identical report (§4.2) |
+//!
+//! The last four rules are *dynamic-evidence* rules: they run over a
+//! typed concurrency event log ([`heterollm::trace::ConcurrencyLog`])
+//! either recorded by the engines or lowered from a [`SyncSchedule`]
+//! by [`race::log_from_schedule`], using a three-actor vector clock to
+//! decide happens-before ([`race`]) and a bounded exhaustive replay of
+//! legal orderings to certify output determinism ([`explore`]).
 //!
 //! Findings are typed [`Diagnostic`]s aggregated into a [`Report`] with
 //! a stable JSON encoding (`Report::to_json`). The `analyze` binary
@@ -31,29 +42,39 @@
 //! checks that need more context than a single plan.
 
 pub mod diag;
+pub mod explore;
 pub mod fallback;
 pub mod mem;
 pub mod plan_rules;
+pub mod race;
 pub mod rules;
 pub mod sched;
 pub mod sweep;
 
 pub use diag::{Diagnostic, Report, Severity, Summary};
+pub use explore::{explore_schedule, DeterminismCertificate, ExploreConfig};
 pub use fallback::check_fallback;
 pub use mem::{check_regions, TensorRegion};
 pub use plan_rules::{check_plan, PlanContext};
+pub use race::{check_log, check_schedule_races, log_from_schedule};
 pub use rules::{rule, RuleInfo, RULES};
 pub use sched::{check_schedule, retry_schedule, EventKind, SyncEvent, SyncSchedule};
 pub use sweep::lint_models;
 
 use hetero_graph::partition::PartitionPlan;
 
-/// Run every applicable rule against one plan: the plan-level rules
-/// plus a sanity check of the sync schedule the plan implies.
+/// Run every applicable rule against one plan: the plan-level rules, a
+/// sanity check of the sync schedule the plan implies, and a
+/// vector-clock race check of that schedule's lowered event log.
 pub fn check_plan_full(plan: &PartitionPlan, ctx: &PlanContext) -> Vec<Diagnostic> {
     let mut out = plan_rules::check_plan(plan, ctx);
     let schedule = SyncSchedule::for_plan(plan);
     out.extend(sched::check_schedule(&schedule, &ctx.location));
+    out.extend(race::check_schedule_races(
+        &schedule,
+        ctx.mechanism,
+        &ctx.location,
+    ));
     out
 }
 

@@ -26,6 +26,17 @@ pub const MEMPOOL_ALIASING: &str = "mempool-aliasing";
 /// satisfy every plan/sync-schedule invariant, including an acyclic
 /// submission graph after flaky rendezvous are rescheduled for retry.
 pub const FALLBACK_INTEGRITY: &str = "fallback-integrity";
+/// Rule: conflicting accesses to a pooled buffer from different actors
+/// must be ordered by a signal→wait or FIFO-queue happens-before edge.
+pub const DATA_RACE: &str = "data-race";
+/// Rule: a pooled slot must not be re-acquired while an earlier
+/// lifetime's accesses are unordered with the new owner.
+pub const UNSYNCHRONIZED_REUSE: &str = "unsynchronized-reuse";
+/// Rule: every wait must observe a flag some actor actually signals.
+pub const LOST_SIGNAL: &str = "lost-signal";
+/// Rule: every legal interleaving of a sync schedule must produce a
+/// byte-identical session report.
+pub const INTERLEAVING_DETERMINISM: &str = "interleaving-determinism";
 
 /// Metadata for one registered rule.
 #[derive(Debug, Clone, Copy)]
@@ -41,7 +52,7 @@ pub struct RuleInfo {
 }
 
 /// All registered rules.
-pub const RULES: [RuleInfo; 8] = [
+pub const RULES: [RuleInfo; 12] = [
     RuleInfo {
         id: SHAPE_CONSERVATION,
         severity: Severity::Deny,
@@ -94,6 +105,34 @@ pub const RULES: [RuleInfo; 8] = [
         summary: "degradation-time fallback plans keep every invariant; the \
                   submission graph stays acyclic when flaky rendezvous are \
                   rescheduled for retry",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: DATA_RACE,
+        severity: Severity::Deny,
+        summary: "conflicting pooled-buffer accesses from different actors are \
+                  ordered by a signal→wait or FIFO-queue happens-before edge",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: UNSYNCHRONIZED_REUSE,
+        severity: Severity::Deny,
+        summary: "a recycled pool slot is only re-acquired after every access \
+                  of its previous lifetime happens-before the new owner",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: LOST_SIGNAL,
+        severity: Severity::Deny,
+        summary: "every rendezvous wait observes a flag some actor signals \
+                  (no wait-on-nothing, including after rendezvous retry)",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: INTERLEAVING_DETERMINISM,
+        severity: Severity::Deny,
+        summary: "all legal interleavings of a sync schedule yield a \
+                  byte-identical session report",
         paper: "§4.2",
     },
 ];

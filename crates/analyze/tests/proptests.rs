@@ -2,11 +2,14 @@
 //! deny-level rule, mutated plans are rejected with the *expected*
 //! rule, and `normalize` is idempotent.
 
-use hetero_analyze::{check_plan_full, rules, PlanContext, Severity};
+use hetero_analyze::{
+    check_plan_full, check_schedule_races, retry_schedule, rules, EventKind, PlanContext, Severity,
+    SyncSchedule,
+};
 use hetero_graph::partition::PartitionPlan;
 use hetero_profiler::RealExecProvider;
 use hetero_soc::calib::NPU_TILE;
-use hetero_soc::sync::Dominance;
+use hetero_soc::sync::{Dominance, SyncMechanism};
 use hetero_soc::SocConfig;
 use hetero_solver::{Solver, SolverConfig};
 use hetero_tensor::shape::MatmulShape;
@@ -137,6 +140,65 @@ proptest! {
             "{diags:?}"
         );
         prop_assert!(check_plan_full(&plan.normalize(), &ctx).is_empty());
+    }
+
+    /// Mutation self-test of the race detector: the sync schedule of
+    /// any two-backend plan (base or after rendezvous-retry
+    /// rescheduling, under either mechanism) lowers to a race-free
+    /// event log, and deleting *any single* wait edge of *any*
+    /// rendezvous is caught as a data race or lost signal.
+    #[test]
+    fn deleted_rendezvous_edge_is_always_caught(
+        kind in 0usize..3,
+        chunks in 1usize..4,
+        retried in proptest::bool::ANY,
+        driver in proptest::bool::ANY,
+    ) {
+        let plan = match kind {
+            0 => PartitionPlan::RowCut {
+                gpu_cols: 1024,
+                padded_m: 512,
+            },
+            1 => PartitionPlan::HybridCut {
+                padded_m: 512,
+                gpu_cols: 1024,
+            },
+            _ => PartitionPlan::SeqCut {
+                npu_chunks: vec![256; chunks],
+                gpu_rows: 32,
+            },
+        };
+        let mut schedule = SyncSchedule::for_plan(&plan);
+        if retried {
+            schedule = retry_schedule(&schedule);
+        }
+        let mech = if driver {
+            SyncMechanism::Driver
+        } else {
+            SyncMechanism::Fast
+        };
+        let base = check_schedule_races(&schedule, mech, "prop");
+        prop_assert!(base.is_empty(), "intact schedule must be race-free: {base:?}");
+        for r in 0..schedule.events.len() {
+            if schedule.events[r].kind != EventKind::Rendezvous {
+                continue;
+            }
+            for e in 0..schedule.events[r].waits_on.len() {
+                let mut mutated = schedule.clone();
+                mutated.events[r].waits_on.remove(e);
+                let denies: Vec<String> = check_schedule_races(&mutated, mech, "prop")
+                    .into_iter()
+                    .filter(|d| d.severity == Severity::Deny)
+                    .map(|d| d.rule_id)
+                    .collect();
+                prop_assert!(
+                    denies
+                        .iter()
+                        .any(|id| id == rules::DATA_RACE || id == rules::LOST_SIGNAL),
+                    "rendezvous {r} edge {e} of {plan:?} (retried={retried}): {denies:?}"
+                );
+            }
+        }
     }
 
     /// `normalize` is idempotent and its output self-reports as

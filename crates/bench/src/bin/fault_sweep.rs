@@ -18,6 +18,7 @@
 //! `--json` (print the machine-readable comparison on stdout),
 //! `--analyze` (standard pre-experiment solver lint).
 
+use hetero_analyze::sweep::race_lint_degraded_session;
 use hetero_analyze::{check_fallback, PlanContext};
 use hetero_bench::{save_json, Table};
 use hetero_soc::disturb::DisturbanceTrace;
@@ -188,6 +189,20 @@ fn main() {
     );
     assert!(a.slo_violation_rate() <= s.slo_violation_rate());
     println!("adaptive p99 TTFT < static p99 TTFT under the same seeded trace [verified]");
+
+    // Happens-before race gate: replay the adaptive arm with the
+    // concurrency event log enabled and push it through the
+    // vector-clock detector — degradation-time replans, fallbacks, and
+    // sync downgrades must never drop an ordering edge.
+    let race = race_lint_degraded_session(&model, args.seed, args.requests);
+    for d in &race.findings {
+        eprintln!("{d}");
+    }
+    println!(
+        "degraded-session concurrency log race-checked: {} deny, {} warn",
+        race.summary.deny, race.summary.warn
+    );
+    assert!(race.is_clean(), "degradation-time schedule raced");
 
     let comparison = Comparison {
         seed: args.seed,

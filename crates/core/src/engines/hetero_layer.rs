@@ -19,7 +19,9 @@ use crate::engines::{gpu_kernel, hetero_soc_config, npu_kernel, Engine};
 use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::PhaseReport;
-use crate::trace::{decode_trace, prefill_trace, OpRole, PhaseTrace};
+use crate::trace::{
+    decode_trace, prefill_trace, ConcurrencyLog, ConcurrencyRecorder, OpRole, PhaseTrace,
+};
 
 /// How the NPU handles sequence lengths without a compiled graph
 /// (§5.2.2's baselines).
@@ -56,6 +58,7 @@ pub(crate) struct RoutedCore {
     /// convention.
     pub int8_matmuls: bool,
     current: Option<Backend>,
+    recorder: Option<ConcurrencyRecorder>,
 }
 
 impl RoutedCore {
@@ -89,7 +92,18 @@ impl RoutedCore {
             aux_backend: Backend::Gpu,
             int8_matmuls: false,
             current: None,
+            recorder: None,
         }
+    }
+
+    /// Start (or reset) concurrency-event recording.
+    pub(crate) fn enable_concurrency_log(&mut self) {
+        self.recorder = Some(ConcurrencyRecorder::new());
+    }
+
+    /// Take the recorded log, ending recording.
+    pub(crate) fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
+        self.recorder.take().map(ConcurrencyRecorder::finish)
     }
 
     fn npu_matmul_kernel(&self, shape: MatmulShape) -> hetero_soc::KernelDesc {
@@ -111,8 +125,16 @@ impl RoutedCore {
         if self.current != Some(backend) {
             if self.current.is_some() {
                 self.soc.backend_switch();
+                if let Some(rec) = &mut self.recorder {
+                    let mech = self.soc.config().sync.mechanism;
+                    rec.switch(backend, mech, self.soc.clock());
+                }
             }
             self.current = Some(backend);
+        }
+        if let Some(rec) = &mut self.recorder {
+            let mech = self.soc.config().sync.mechanism;
+            rec.serial_kernel(backend, kernel.bytes(), mech, self.soc.clock());
         }
         self.soc.run_serial(backend, std::slice::from_ref(kernel));
     }
@@ -254,6 +276,14 @@ impl Engine for HeteroLayerEngine {
         n_tokens: usize,
     ) -> Result<PhaseReport, EngineError> {
         self.core.run_decode(prompt_len, n_tokens)
+    }
+
+    fn enable_concurrency_log(&mut self) {
+        self.core.enable_concurrency_log();
+    }
+
+    fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
+        self.core.take_concurrency_log()
     }
 
     fn soc(&self) -> &Soc {

@@ -18,7 +18,7 @@ use crate::engines::{gpu_kernel, hetero_soc_config, npu_kernel, Engine};
 use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::PhaseReport;
-use crate::trace::{decode_trace, prefill_trace, OpRole};
+use crate::trace::{decode_trace, prefill_trace, ConcurrencyLog, ConcurrencyRecorder, OpRole};
 
 /// HeteroLLM with tensor-level heterogeneous execution.
 ///
@@ -35,6 +35,7 @@ pub struct HeteroTensorEngine<P: CostProvider = RealExecProvider> {
     prefill_table: PlanTable,
     decode_table: PlanTable,
     current: Option<Backend>,
+    recorder: Option<ConcurrencyRecorder>,
 }
 
 impl HeteroTensorEngine<RealExecProvider> {
@@ -174,6 +175,7 @@ impl<P: CostProvider + Clone> HeteroTensorEngine<P> {
             prefill_table: PlanTable::new(),
             decode_table: PlanTable::new(),
             current: None,
+            recorder: None,
         }
     }
 }
@@ -183,13 +185,27 @@ impl<P: CostProvider> HeteroTensorEngine<P> {
         if self.current != Some(backend) {
             if self.current.is_some() {
                 self.soc.backend_switch();
+                if let Some(rec) = &mut self.recorder {
+                    let mech = self.soc.config().sync.mechanism;
+                    rec.switch(backend, mech, self.soc.clock());
+                }
             }
             self.current = Some(backend);
+        }
+        if let Some(rec) = &mut self.recorder {
+            let mech = self.soc.config().sync.mechanism;
+            rec.serial_kernel(backend, kernel.bytes(), mech, self.soc.clock());
         }
         self.soc.run_serial(backend, std::slice::from_ref(kernel));
     }
 
     fn run_parallel(&mut self, gpu: &[KernelDesc], npu: &[KernelDesc], dominance: Dominance) {
+        if let Some(rec) = &mut self.recorder {
+            let mech = self.soc.config().sync.mechanism;
+            let gpu_bytes: u64 = gpu.iter().map(KernelDesc::bytes).sum();
+            let npu_bytes: u64 = npu.iter().map(KernelDesc::bytes).sum();
+            rec.parallel_section(gpu_bytes, npu_bytes, mech, self.soc.clock());
+        }
         self.soc.run_parallel(gpu, npu, dominance);
         // Both backends just ran; the GPU ends the section primed.
         self.current = Some(Backend::Gpu);
@@ -335,6 +351,14 @@ impl<P: CostProvider> Engine for HeteroTensorEngine<P> {
             tokens: n_tokens,
             elapsed: self.soc.clock() - start,
         })
+    }
+
+    fn enable_concurrency_log(&mut self) {
+        self.recorder = Some(ConcurrencyRecorder::new());
+    }
+
+    fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
+        self.recorder.take().map(ConcurrencyRecorder::finish)
     }
 
     fn soc(&self) -> &Soc {

@@ -83,6 +83,14 @@ impl Engine for MllmNpuEngine {
         self.core.run_decode(prompt_len, n_tokens)
     }
 
+    fn enable_concurrency_log(&mut self) {
+        self.core.enable_concurrency_log();
+    }
+
+    fn take_concurrency_log(&mut self) -> Option<crate::trace::ConcurrencyLog> {
+        self.core.take_concurrency_log()
+    }
+
     fn soc(&self) -> &Soc {
         &self.core.soc
     }

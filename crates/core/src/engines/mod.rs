@@ -28,6 +28,7 @@ use hetero_soc::{calib, KernelDesc, Soc, SocConfig};
 use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::PhaseReport;
+use crate::trace::ConcurrencyLog;
 
 /// A schedulable inference engine (timing mode).
 pub trait Engine {
@@ -75,6 +76,19 @@ pub trait Engine {
             Ok(r) => r,
             Err(e) => panic!("decode failed: {e}"),
         }
+    }
+
+    /// Start recording a concurrency event log (buffer accesses, queue
+    /// submissions, rendezvous signal/wait) for race analysis. Engines
+    /// without cross-backend concurrency may record nothing; calling
+    /// again resets any partial log.
+    fn enable_concurrency_log(&mut self) {}
+
+    /// Take the concurrency log recorded since
+    /// [`Engine::enable_concurrency_log`], ending recording. Returns
+    /// `None` if recording was never enabled (or is unsupported).
+    fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
+        None
     }
 
     /// Access the simulated SoC (clock, meter, trace).

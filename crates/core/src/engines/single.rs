@@ -13,7 +13,7 @@ use crate::engines::{llama_cpp_soc_config, Engine};
 use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::PhaseReport;
-use crate::trace::{decode_trace, prefill_trace, PhaseTrace};
+use crate::trace::{decode_trace, prefill_trace, ConcurrencyLog, ConcurrencyRecorder, PhaseTrace};
 
 /// GPU kernel-quality tiers of the baseline frameworks (derived from
 /// the paper's relative results; see [`calib::engine_eff`]).
@@ -66,6 +66,7 @@ pub struct SingleBackendEngine {
     cfg: ModelConfig,
     backend: Backend,
     soc: Soc,
+    recorder: Option<ConcurrencyRecorder>,
 }
 
 impl SingleBackendEngine {
@@ -78,6 +79,7 @@ impl SingleBackendEngine {
             cfg: model.clone(),
             backend: Backend::Gpu,
             soc: Soc::new(soc_cfg),
+            recorder: None,
         }
     }
 
@@ -90,11 +92,16 @@ impl SingleBackendEngine {
             cfg: model.clone(),
             backend: Backend::Cpu,
             soc,
+            recorder: None,
         }
     }
 
     fn run_trace(&mut self, trace: &PhaseTrace) {
+        let mech = self.soc.config().sync.mechanism;
         for op in trace.iter_all() {
+            if let Some(rec) = &mut self.recorder {
+                rec.serial_kernel(self.backend, op.kernel.bytes(), mech, self.soc.clock());
+            }
             self.soc
                 .run_serial(self.backend, std::slice::from_ref(&op.kernel));
         }
@@ -134,6 +141,14 @@ impl Engine for SingleBackendEngine {
             tokens: n_tokens,
             elapsed: self.soc.clock() - start,
         })
+    }
+
+    fn enable_concurrency_log(&mut self) {
+        self.recorder = Some(ConcurrencyRecorder::new());
+    }
+
+    fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
+        self.recorder.take().map(ConcurrencyRecorder::finish)
     }
 
     fn soc(&self) -> &Soc {

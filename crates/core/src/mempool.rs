@@ -17,6 +17,14 @@ pub struct BufferHandle {
     pub bytes: u64,
 }
 
+impl BufferHandle {
+    /// Stable pool-unique identifier (used by the concurrency event
+    /// log to name buffers across acquire/release cycles).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
 /// Pool statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
@@ -91,17 +99,40 @@ impl MemoryPool {
         };
         self.live_bytes += size;
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.live_bytes);
+        debug_assert!(
+            self.live_bytes <= self.stats.allocated_bytes,
+            "live bytes {} exceed allocated bytes {}",
+            self.live_bytes,
+            self.stats.allocated_bytes
+        );
         handle
     }
 
     /// Return a buffer to the pool (the device mapping persists).
     pub fn release(&mut self, handle: BufferHandle) {
+        debug_assert!(
+            self.live_bytes >= handle.bytes,
+            "release of {} bytes with only {} live (double release?)",
+            handle.bytes,
+            self.live_bytes
+        );
         self.live_bytes = self.live_bytes.saturating_sub(handle.bytes);
         self.free.entry(handle.bytes).or_default().push(handle);
     }
 
+    /// Bytes currently acquired (live) from the pool.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> PoolStats {
+        debug_assert!(
+            self.stats.peak_live_bytes >= self.live_bytes,
+            "peak {} below live {}",
+            self.stats.peak_live_bytes,
+            self.live_bytes
+        );
         self.stats
     }
 }

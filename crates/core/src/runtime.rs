@@ -41,6 +41,7 @@ use crate::engines::{hetero_soc_config, Engine, EngineKind};
 use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::report::{DegradationSummary, SessionReport};
+use crate::trace::ConcurrencyLog;
 
 /// Longest prompt the traffic generator emits; SLO calibration probes
 /// at this length so every quiet request has headroom.
@@ -242,6 +243,9 @@ pub struct RuntimeController {
     prefill_time: SimTime,
     decode_tokens: usize,
     decode_time: SimTime,
+    /// Session-wide concurrency log spanning engine rebuilds
+    /// (`None` = recording off).
+    clog: Option<ConcurrencyLog>,
 }
 
 impl RuntimeController {
@@ -276,6 +280,42 @@ impl RuntimeController {
             prefill_time: SimTime::ZERO,
             decode_tokens: 0,
             decode_time: SimTime::ZERO,
+            clog: None,
+        }
+    }
+
+    /// Start recording a session-wide concurrency event log. Each
+    /// engine instance records its own segment; the controller merges
+    /// segments (with disjoint buffer/token spaces) across replans and
+    /// fallbacks, inserting a quiesce marker at every transition.
+    pub fn enable_concurrency_log(&mut self) {
+        self.clog = Some(ConcurrencyLog::new());
+        self.engine.as_engine().enable_concurrency_log();
+    }
+
+    /// Take the session-wide concurrency log, ending recording.
+    pub fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
+        self.harvest_concurrency_log();
+        self.clog.take()
+    }
+
+    /// Merge the active engine's recorded segment into the session log.
+    fn harvest_concurrency_log(&mut self) {
+        if self.clog.is_some() {
+            let seg = self.engine.as_engine().take_concurrency_log();
+            if let (Some(clog), Some(seg)) = (&mut self.clog, seg) {
+                clog.append_shifted(&seg);
+            }
+        }
+    }
+
+    /// Re-arm recording on a freshly installed engine and mark the
+    /// transition (replan/fallback quiesce point) in the session log.
+    fn rearm_concurrency_log(&mut self, mechanism: SyncMechanism) {
+        let at = self.now;
+        if let Some(clog) = &mut self.clog {
+            clog.push_marker(mechanism, at);
+            self.engine.as_engine().enable_concurrency_log();
         }
     }
 
@@ -453,10 +493,12 @@ impl RuntimeController {
                         PartitionPlan::NpuOnly { padded_m: 256 },
                     )
                 };
+                self.harvest_concurrency_log();
                 self.energy_j += self.engine.as_engine().finish().energy_j;
                 let engine = kind.build(&self.model, self.sync);
                 self.pristine = engine.soc().config().clone();
                 self.engine = ActiveEngine::Fallback(engine);
+                self.rearm_concurrency_log(self.sync);
                 self.planned = cond.clone();
                 self.fallbacks += 1;
                 self.slow_streak = 0;
@@ -481,11 +523,13 @@ impl RuntimeController {
     /// Replace the active engine with a primary re-planned for `cond`
     /// under the current sync mechanism.
     fn rebuild(&mut self, cond: &SocCondition) -> SimTime {
+        self.harvest_concurrency_log();
         self.energy_j += self.engine.as_engine().finish().energy_j;
         let quiet_base = hetero_soc_config(self.sync);
         let engine = HeteroTensorEngine::with_soc_config(&self.model, cond.apply_to(&quiet_base));
         self.pristine = quiet_base;
         self.engine = ActiveEngine::Primary(Box::new(engine));
+        self.rearm_concurrency_log(self.sync);
         self.planned = cond.clone();
         self.cfg.replan_overhead
     }
@@ -537,6 +581,12 @@ impl RuntimeController {
             return SimTime::ZERO;
         }
         let per_rendezvous = if self.cfg.adaptive && self.sync_downgraded {
+            // Flagged rendezvous route through the reliable driver
+            // path: record the downgrade as a driver-carried marker.
+            let at = self.now;
+            if let Some(clog) = &mut self.clog {
+                clog.push_marker(SyncMechanism::Driver, at);
+            }
             SyncModel::new(SyncMechanism::Driver)
                 .rendezvous(Dominance::NpuDominant)
                 .as_nanos()
@@ -547,6 +597,13 @@ impl RuntimeController {
                 cond.sync_failures
             };
             self.sync_retries += attempts as usize;
+            // Each retry re-arms the flag: one marker per attempt.
+            let at = self.now;
+            if let Some(clog) = &mut self.clog {
+                for _ in 0..attempts {
+                    clog.push_marker(self.sync, at);
+                }
+            }
             self.cfg.retry_backoff.as_nanos() * ((1u64 << attempts) - 1)
         };
         SimTime::from_nanos(per_rendezvous * self.model.layers as u64)

@@ -1,0 +1,548 @@
+//! Typed concurrency event log for cross-backend executions.
+//!
+//! The fast-synchronization runtime (§4.2) replaces driver events with
+//! shared-memory flag polling over pooled buffers. That is exactly the
+//! kind of hand-rolled rendezvous where a missing edge silently
+//! corrupts activations instead of failing, so every engine records a
+//! happens-before-relevant event stream: pooled-buffer
+//! acquire/read/write/release, per-backend FIFO submit/complete, and
+//! rendezvous signal/wait under either [`SyncMechanism`].
+//!
+//! The log is *evidence*, not policy: `hetero-analyze`'s vector-clock
+//! race detector consumes it to prove (or refute) that all conflicting
+//! buffer accesses are ordered by a signal→wait or queue edge.
+
+use hetero_soc::sync::SyncMechanism;
+use hetero_soc::{Backend, SimTime};
+
+use crate::mempool::{BufferHandle, MemoryPool};
+
+/// What one concurrency event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcurrencyOp {
+    /// A pooled buffer was acquired (mapped into both address spaces).
+    BufferAcquire {
+        /// Pool handle id.
+        buffer: u64,
+        /// Rounded (size-class) byte size of the slot.
+        bytes: u64,
+    },
+    /// The actor read a pooled buffer (kernel input).
+    BufferRead {
+        /// Pool handle id.
+        buffer: u64,
+    },
+    /// The actor wrote a pooled buffer (kernel output).
+    BufferWrite {
+        /// Pool handle id.
+        buffer: u64,
+    },
+    /// The buffer returned to the pool (the device mapping persists).
+    BufferRelease {
+        /// Pool handle id.
+        buffer: u64,
+    },
+    /// A kernel (or prebuilt graph) entered the actor's FIFO queue.
+    Submit {
+        /// Submission token, unique within one log.
+        token: u64,
+    },
+    /// The submission identified by `token` retired from the queue.
+    Complete {
+        /// Token of the matching [`ConcurrencyOp::Submit`].
+        token: u64,
+    },
+    /// A completion flag was set: a shared-memory store under
+    /// [`SyncMechanism::Fast`], a driver event under
+    /// [`SyncMechanism::Driver`].
+    Signal {
+        /// Synchronization mechanism carrying the flag.
+        mechanism: SyncMechanism,
+        /// Flag token, unique within one log.
+        token: u64,
+    },
+    /// The actor blocked until the flag identified by `token` was set
+    /// (spin-poll under Fast, event wait under Driver).
+    Wait {
+        /// Synchronization mechanism carrying the flag.
+        mechanism: SyncMechanism,
+        /// Flag token this wait observes.
+        token: u64,
+    },
+}
+
+/// One entry in a concurrency event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrencyEvent {
+    /// Position in the log (total order of *recording*, not of
+    /// execution — the happens-before relation is derived from the
+    /// `op` payloads, not from `seq`).
+    pub seq: u64,
+    /// Simulated time the event was recorded at.
+    pub at: SimTime,
+    /// The backend (actor) performing the event. CPU-side control
+    /// events (rendezvous joins, replans) use [`Backend::Cpu`].
+    pub actor: Backend,
+    /// The event payload.
+    pub op: ConcurrencyOp,
+}
+
+/// An append-only concurrency event log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConcurrencyLog {
+    /// Events in recording order.
+    pub events: Vec<ConcurrencyEvent>,
+}
+
+impl ConcurrencyLog {
+    /// New, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event, assigning the next sequence number.
+    pub fn push(&mut self, at: SimTime, actor: Backend, op: ConcurrencyOp) {
+        let seq = self.events.len() as u64;
+        self.events.push(ConcurrencyEvent { seq, at, actor, op });
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Largest token used by any submit/complete/signal/wait event.
+    fn max_token(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.op {
+                ConcurrencyOp::Submit { token }
+                | ConcurrencyOp::Complete { token }
+                | ConcurrencyOp::Signal { token, .. }
+                | ConcurrencyOp::Wait { token, .. } => Some(token),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest buffer id referenced by any buffer event.
+    fn max_buffer(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.op {
+                ConcurrencyOp::BufferAcquire { buffer, .. }
+                | ConcurrencyOp::BufferRead { buffer }
+                | ConcurrencyOp::BufferWrite { buffer }
+                | ConcurrencyOp::BufferRelease { buffer } => Some(buffer),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Record a control-plane marker pair: a CPU-side signal
+    /// immediately joined by a CPU-side wait, with a token fresh in
+    /// this log. The runtime controller emits these around replans,
+    /// fallbacks, rendezvous retries and sync downgrades so
+    /// degradation-time quiesce points are visible in the log.
+    pub fn push_marker(&mut self, mechanism: SyncMechanism, at: SimTime) {
+        let token = self.max_token() + 1;
+        self.push(at, Backend::Cpu, ConcurrencyOp::Signal { mechanism, token });
+        self.push(at, Backend::Cpu, ConcurrencyOp::Wait { mechanism, token });
+    }
+
+    /// Append `other`'s events with token and buffer-id spaces shifted
+    /// past this log's, then resequence.
+    ///
+    /// Segments recorded by *different* engine instances (e.g. across a
+    /// [`crate::runtime::RuntimeController`] rebuild) use independent
+    /// pools and token counters; shifting keeps a buffer or flag in one
+    /// segment from aliasing an unrelated one in another — a fresh
+    /// engine's buffers genuinely are new allocations.
+    pub fn append_shifted(&mut self, other: &ConcurrencyLog) {
+        let tok_base = self.max_token() + 1;
+        let buf_base = self.max_buffer() + 1;
+        for e in &other.events {
+            let op = match e.op {
+                ConcurrencyOp::BufferAcquire { buffer, bytes } => ConcurrencyOp::BufferAcquire {
+                    buffer: buffer + buf_base,
+                    bytes,
+                },
+                ConcurrencyOp::BufferRead { buffer } => ConcurrencyOp::BufferRead {
+                    buffer: buffer + buf_base,
+                },
+                ConcurrencyOp::BufferWrite { buffer } => ConcurrencyOp::BufferWrite {
+                    buffer: buffer + buf_base,
+                },
+                ConcurrencyOp::BufferRelease { buffer } => ConcurrencyOp::BufferRelease {
+                    buffer: buffer + buf_base,
+                },
+                ConcurrencyOp::Submit { token } => ConcurrencyOp::Submit {
+                    token: token + tok_base,
+                },
+                ConcurrencyOp::Complete { token } => ConcurrencyOp::Complete {
+                    token: token + tok_base,
+                },
+                ConcurrencyOp::Signal { mechanism, token } => ConcurrencyOp::Signal {
+                    mechanism,
+                    token: token + tok_base,
+                },
+                ConcurrencyOp::Wait { mechanism, token } => ConcurrencyOp::Wait {
+                    mechanism,
+                    token: token + tok_base,
+                },
+            };
+            self.push(e.at, e.actor, op);
+        }
+    }
+}
+
+/// A live activation buffer: who wrote it last and which completion
+/// flag covers that write.
+#[derive(Debug, Clone, Copy)]
+struct LiveBuffer {
+    handle: BufferHandle,
+    writer: Backend,
+    flag: u64,
+}
+
+/// Records the concurrency event stream of one engine instance.
+///
+/// The recorder owns a real [`MemoryPool`] so handles genuinely recycle
+/// through size classes the way the runtime's pool does — recycled-slot
+/// hazards in the log are the pool's actual recycling behaviour, not a
+/// simulation of it. It mirrors the engine's *actual* synchronization
+/// calls: a completion flag is signalled after every kernel retires,
+/// but a wait is only recorded where the engine really switches
+/// backends or joins a rendezvous. If an engine skipped a sync, the
+/// log would carry a genuine race for the detector to find.
+#[derive(Debug, Default)]
+pub struct ConcurrencyRecorder {
+    log: ConcurrencyLog,
+    pool: MemoryPool,
+    next_token: u64,
+    /// Live activation outputs of the most recent step.
+    current: Vec<LiveBuffer>,
+    /// Rendezvous-continuation flag the next submission must wait on.
+    handoff: Option<u64>,
+}
+
+impl ConcurrencyRecorder {
+    /// New recorder with an empty log and a fresh pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    /// Record a serial kernel on `backend`: wait any pending rendezvous
+    /// continuation, acquire the output slot, submit, read the live
+    /// inputs, write the output, retire, release the inputs, and signal
+    /// the completion flag.
+    pub fn serial_kernel(
+        &mut self,
+        backend: Backend,
+        out_bytes: u64,
+        mechanism: SyncMechanism,
+        at: SimTime,
+    ) {
+        if let Some(tok) = self.handoff.take() {
+            self.log.push(
+                at,
+                backend,
+                ConcurrencyOp::Wait {
+                    mechanism,
+                    token: tok,
+                },
+            );
+        }
+        let out = self.pool.acquire(out_bytes.max(1));
+        self.log.push(
+            at,
+            backend,
+            ConcurrencyOp::BufferAcquire {
+                buffer: out.id(),
+                bytes: out.bytes,
+            },
+        );
+        let tok = self.token();
+        self.log
+            .push(at, backend, ConcurrencyOp::Submit { token: tok });
+        for b in &self.current {
+            self.log.push(
+                at,
+                backend,
+                ConcurrencyOp::BufferRead {
+                    buffer: b.handle.id(),
+                },
+            );
+        }
+        self.log
+            .push(at, backend, ConcurrencyOp::BufferWrite { buffer: out.id() });
+        self.log
+            .push(at, backend, ConcurrencyOp::Complete { token: tok });
+        for b in std::mem::take(&mut self.current) {
+            self.log.push(
+                at,
+                backend,
+                ConcurrencyOp::BufferRelease {
+                    buffer: b.handle.id(),
+                },
+            );
+            self.pool.release(b.handle);
+        }
+        let flag = self.token();
+        self.log.push(
+            at,
+            backend,
+            ConcurrencyOp::Signal {
+                mechanism,
+                token: flag,
+            },
+        );
+        self.current = vec![LiveBuffer {
+            handle: out,
+            writer: backend,
+            flag,
+        }];
+    }
+
+    /// Record a backend switch: the destination backend waits on the
+    /// completion flags of every live buffer another backend wrote.
+    pub fn switch(&mut self, to: Backend, mechanism: SyncMechanism, at: SimTime) {
+        for b in &self.current {
+            if b.writer != to {
+                self.log.push(
+                    at,
+                    to,
+                    ConcurrencyOp::Wait {
+                        mechanism,
+                        token: b.flag,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Record a parallel GPU+NPU section ending in a rendezvous: each
+    /// side waits the flags of cross-backend inputs (and any pending
+    /// continuation), runs its partial kernel, and signals; the CPU
+    /// control plane joins both flags, releases the inputs, and signals
+    /// the continuation flag the next step waits on.
+    pub fn parallel_section(
+        &mut self,
+        gpu_bytes: u64,
+        npu_bytes: u64,
+        mechanism: SyncMechanism,
+        at: SimTime,
+    ) {
+        let handoff = self.handoff.take();
+        let inputs = std::mem::take(&mut self.current);
+        let mut outputs = Vec::with_capacity(2);
+        for (backend, bytes) in [(Backend::Gpu, gpu_bytes), (Backend::Npu, npu_bytes)] {
+            if let Some(tok) = handoff {
+                self.log.push(
+                    at,
+                    backend,
+                    ConcurrencyOp::Wait {
+                        mechanism,
+                        token: tok,
+                    },
+                );
+            }
+            for b in &inputs {
+                if b.writer != backend {
+                    self.log.push(
+                        at,
+                        backend,
+                        ConcurrencyOp::Wait {
+                            mechanism,
+                            token: b.flag,
+                        },
+                    );
+                }
+            }
+            let out = self.pool.acquire(bytes.max(1));
+            self.log.push(
+                at,
+                backend,
+                ConcurrencyOp::BufferAcquire {
+                    buffer: out.id(),
+                    bytes: out.bytes,
+                },
+            );
+            let tok = self.token();
+            self.log
+                .push(at, backend, ConcurrencyOp::Submit { token: tok });
+            for b in &inputs {
+                self.log.push(
+                    at,
+                    backend,
+                    ConcurrencyOp::BufferRead {
+                        buffer: b.handle.id(),
+                    },
+                );
+            }
+            self.log
+                .push(at, backend, ConcurrencyOp::BufferWrite { buffer: out.id() });
+            self.log
+                .push(at, backend, ConcurrencyOp::Complete { token: tok });
+            let flag = self.token();
+            self.log.push(
+                at,
+                backend,
+                ConcurrencyOp::Signal {
+                    mechanism,
+                    token: flag,
+                },
+            );
+            outputs.push(LiveBuffer {
+                handle: out,
+                writer: backend,
+                flag,
+            });
+        }
+        // Rendezvous: the CPU control plane joins both partials.
+        for o in &outputs {
+            self.log.push(
+                at,
+                Backend::Cpu,
+                ConcurrencyOp::Wait {
+                    mechanism,
+                    token: o.flag,
+                },
+            );
+        }
+        for b in inputs {
+            self.log.push(
+                at,
+                Backend::Cpu,
+                ConcurrencyOp::BufferRelease {
+                    buffer: b.handle.id(),
+                },
+            );
+            self.pool.release(b.handle);
+        }
+        let cont = self.token();
+        self.log.push(
+            at,
+            Backend::Cpu,
+            ConcurrencyOp::Signal {
+                mechanism,
+                token: cont,
+            },
+        );
+        self.current = outputs;
+        self.handoff = Some(cont);
+    }
+
+    /// Finish recording: release any still-live buffers (each by its
+    /// writing actor) and return the log.
+    pub fn finish(mut self) -> ConcurrencyLog {
+        for b in std::mem::take(&mut self.current) {
+            self.log.push(
+                SimTime::ZERO,
+                b.writer,
+                ConcurrencyOp::BufferRelease {
+                    buffer: b.handle.id(),
+                },
+            );
+            self.pool.release(b.handle);
+        }
+        self.log
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chain_records_expected_shape() {
+        let mut r = ConcurrencyRecorder::new();
+        r.serial_kernel(Backend::Gpu, 4096, SyncMechanism::Fast, SimTime::ZERO);
+        r.serial_kernel(Backend::Gpu, 4096, SyncMechanism::Fast, SimTime::ZERO);
+        let log = r.finish();
+        // Acquire/submit/write/complete/signal + read/release on the 2nd.
+        let acquires = log
+            .events
+            .iter()
+            .filter(|e| matches!(e.op, ConcurrencyOp::BufferAcquire { .. }))
+            .count();
+        let releases = log
+            .events
+            .iter()
+            .filter(|e| matches!(e.op, ConcurrencyOp::BufferRelease { .. }))
+            .count();
+        assert_eq!(acquires, 2);
+        assert_eq!(releases, 2);
+    }
+
+    #[test]
+    fn parallel_section_ends_with_cpu_rendezvous() {
+        let mut r = ConcurrencyRecorder::new();
+        r.serial_kernel(Backend::Gpu, 4096, SyncMechanism::Fast, SimTime::ZERO);
+        r.parallel_section(4096, 4096, SyncMechanism::Fast, SimTime::ZERO);
+        let log = r.finish();
+        let cpu_waits = log
+            .events
+            .iter()
+            .filter(|e| e.actor == Backend::Cpu && matches!(e.op, ConcurrencyOp::Wait { .. }))
+            .count();
+        assert_eq!(cpu_waits, 2, "rendezvous joins both partial flags");
+    }
+
+    #[test]
+    fn append_shifted_keeps_token_spaces_disjoint() {
+        let mut a = ConcurrencyRecorder::new();
+        a.serial_kernel(Backend::Gpu, 4096, SyncMechanism::Fast, SimTime::ZERO);
+        let mut log = a.finish();
+        let mut b = ConcurrencyRecorder::new();
+        b.serial_kernel(Backend::Npu, 4096, SyncMechanism::Driver, SimTime::ZERO);
+        let second = b.finish();
+        let before = log.len();
+        log.append_shifted(&second);
+        assert_eq!(log.len(), before + second.len());
+        // Buffer ids must not collide across segments.
+        let first_bufs: Vec<u64> = log.events[..before]
+            .iter()
+            .filter_map(|e| match e.op {
+                ConcurrencyOp::BufferAcquire { buffer, .. } => Some(buffer),
+                _ => None,
+            })
+            .collect();
+        let second_bufs: Vec<u64> = log.events[before..]
+            .iter()
+            .filter_map(|e| match e.op {
+                ConcurrencyOp::BufferAcquire { buffer, .. } => Some(buffer),
+                _ => None,
+            })
+            .collect();
+        for b in &second_bufs {
+            assert!(!first_bufs.contains(b), "buffer {b} aliased");
+        }
+        // Sequence numbers stay dense.
+        for (i, e) in log.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+}

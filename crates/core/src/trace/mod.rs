@@ -8,6 +8,10 @@
 //! blocks (attention operates on dynamic KV lengths, which static NPU
 //! graphs cannot express).
 
+pub mod concurrency;
+
+pub use concurrency::{ConcurrencyEvent, ConcurrencyLog, ConcurrencyOp, ConcurrencyRecorder};
+
 use crate::model::ModelConfig;
 use hetero_soc::kernel::KernelLabel;
 use hetero_soc::KernelDesc;

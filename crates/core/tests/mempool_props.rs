@@ -1,0 +1,96 @@
+//! Property tests of the shared memory pool's accounting: `PoolStats`
+//! must agree with a straightforward reference model over arbitrary
+//! acquire/release sequences — `peak_live_bytes` is the true high-water
+//! mark of live bytes, `allocated_bytes` covers exactly the slots ever
+//! mapped, and reuse only ever happens within a size class.
+
+use std::collections::HashMap;
+
+use heterollm::mempool::{BufferHandle, MemoryPool};
+use proptest::prelude::*;
+
+/// The size class `MemoryPool` rounds a request up to.
+fn size_class(bytes: u64) -> u64 {
+    bytes.max(4096).next_power_of_two()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accounting matches the reference model after every operation.
+    #[test]
+    fn pool_accounting_matches_model(
+        ops in proptest::collection::vec((proptest::bool::ANY, 0u64..(1 << 22)), 1..200),
+    ) {
+        let mut pool = MemoryPool::new();
+        let mut live: Vec<BufferHandle> = Vec::new();
+        let mut free_slots: HashMap<u64, u64> = HashMap::new();
+        let (mut model_live, mut model_peak, mut model_allocated) = (0u64, 0u64, 0u64);
+        let (mut model_reuses, mut model_allocs) = (0u64, 0u64);
+        for (is_acquire, val) in ops {
+            if is_acquire || live.is_empty() {
+                let size = size_class(val);
+                let slot = free_slots.entry(size).or_insert(0);
+                if *slot > 0 {
+                    *slot -= 1;
+                    model_reuses += 1;
+                } else {
+                    model_allocs += 1;
+                    model_allocated += size;
+                }
+                model_live += size;
+                model_peak = model_peak.max(model_live);
+                let h = pool.acquire(val);
+                prop_assert_eq!(h.bytes, size, "rounded to the size class");
+                prop_assert!(
+                    live.iter().all(|l| l.id() != h.id()),
+                    "live handle ids must be unique"
+                );
+                live.push(h);
+            } else {
+                let h = live.swap_remove(val as usize % live.len());
+                *free_slots.entry(h.bytes).or_insert(0) += 1;
+                model_live -= h.bytes;
+                pool.release(h);
+            }
+            let s = pool.stats();
+            prop_assert_eq!(pool.live_bytes(), model_live);
+            prop_assert_eq!(s.peak_live_bytes, model_peak, "true high-water mark");
+            prop_assert_eq!(s.allocated_bytes, model_allocated);
+            prop_assert_eq!(s.reuses, model_reuses);
+            prop_assert_eq!(s.allocations, model_allocs);
+            prop_assert!(s.peak_live_bytes >= pool.live_bytes());
+            prop_assert!(pool.live_bytes() <= s.allocated_bytes);
+        }
+        // allocated_bytes covers the live handles plus the free slots.
+        let live_sum: u64 = live.iter().map(|h| h.bytes).sum();
+        let free_sum: u64 = free_slots.iter().map(|(size, n)| size * n).sum();
+        prop_assert_eq!(pool.stats().allocated_bytes, live_sum + free_sum);
+    }
+
+    /// Draining everything and re-acquiring the same shapes performs no
+    /// new allocation and cannot raise the peak.
+    #[test]
+    fn steady_state_reuses_without_growth(
+        shapes in proptest::collection::vec(1u64..(1 << 22), 1..16),
+        rounds in 1usize..8,
+    ) {
+        let mut pool = MemoryPool::new();
+        let first: Vec<BufferHandle> = shapes.iter().map(|&b| pool.acquire(b)).collect();
+        let baseline = pool.stats();
+        for h in first {
+            pool.release(h);
+        }
+        for _ in 0..rounds {
+            let handles: Vec<BufferHandle> = shapes.iter().map(|&b| pool.acquire(b)).collect();
+            for h in handles {
+                pool.release(h);
+            }
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.allocations, baseline.allocations, "steady state maps nothing new");
+        prop_assert_eq!(s.allocated_bytes, baseline.allocated_bytes);
+        prop_assert_eq!(s.peak_live_bytes, baseline.peak_live_bytes);
+        prop_assert_eq!(pool.live_bytes(), 0);
+    }
+}

@@ -153,6 +153,12 @@ impl<E: Eq> EventQueue<E> {
         Some((ev.at, ev.payload))
     }
 
+    /// The next event's time and payload, without popping or advancing
+    /// the clock.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|ev| (ev.at, &ev.payload))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -30,6 +30,17 @@ pub enum SyncMechanism {
     Fast,
 }
 
+impl SyncMechanism {
+    /// Stable display name (`"driver"` / `"fast"`), used by CLI flags
+    /// and race-detector diagnostics.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Driver => "driver",
+            Self::Fast => "fast",
+        }
+    }
+}
+
 /// Which backend dominates the parallel section (Fig. 11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Dominance {

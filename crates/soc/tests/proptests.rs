@@ -4,6 +4,7 @@
 //! takes less time, more bandwidth never hurts, the arbiter never
 //! over-allocates, and the overlap algebra stays within its bounds.
 
+use hetero_soc::des::EventQueue;
 use hetero_soc::gpu::GpuModel;
 use hetero_soc::memory::MemorySystem;
 use hetero_soc::npu::NpuModel;
@@ -150,6 +151,64 @@ proptest! {
         prop_assert!(o.b_finish + SimTime::from_nanos(1) >= b_solo);
         // Makespan at least the larger solo time.
         prop_assert!(o.makespan() + SimTime::from_nanos(1) >= a_solo.max(b_solo));
+    }
+
+    /// The event queue is a stable (time, insertion-order) min-queue:
+    /// simultaneous events pop in FIFO order, for any schedule.
+    #[test]
+    fn simultaneous_events_pop_fifo(
+        times in proptest::collection::vec(0u64..50, 1..40),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev);
+        }
+        let mut expect: Vec<(SimTime, usize)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (SimTime::from_micros(t), i))
+            .collect();
+        // A stable sort by time keeps ties in insertion order.
+        expect.sort_by_key(|&(t, _)| t);
+        prop_assert_eq!(popped, expect);
+    }
+
+    /// A rejected `try_schedule` (causality violation) consumes nothing
+    /// observable: later events pop in exactly the order of a queue
+    /// that never saw the rejected call — including FIFO tie-breaks.
+    #[test]
+    fn rejected_try_schedule_never_perturbs_ordering(
+        pre in proptest::collection::vec(1u64..50, 1..20),
+        post in proptest::collection::vec(0u64..50, 1..20),
+    ) {
+        let mut test = EventQueue::new();
+        let mut control = EventQueue::new();
+        for (i, &t) in pre.iter().enumerate() {
+            test.schedule(SimTime::from_micros(t), i);
+            control.schedule(SimTime::from_micros(t), i);
+        }
+        while control.pop().is_some() {
+            prop_assert!(test.pop().is_some());
+        }
+        // The clock sits at the latest pre event (≥ 1 µs); a strictly
+        // earlier event must be rejected — on the test queue only.
+        let max_t = *pre.iter().max().unwrap();
+        let err = test.try_schedule(SimTime::from_micros(max_t - 1), usize::MAX);
+        prop_assert!(err.is_err(), "past event must be rejected");
+        for (i, &t) in post.iter().enumerate() {
+            let at = test.now() + SimTime::from_micros(t);
+            test.try_schedule(at, 1000 + i).expect("future event");
+            control.try_schedule(at, 1000 + i).expect("future event");
+        }
+        while let Some(expected) = control.pop() {
+            prop_assert_eq!(test.peek().map(|(at, &e)| (at, e)), Some(expected));
+            prop_assert_eq!(test.pop(), Some(expected));
+        }
+        prop_assert!(test.pop().is_none());
     }
 
     #[test]
