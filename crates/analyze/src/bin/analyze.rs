@@ -6,7 +6,7 @@
 //! GPU-dominant), then runs every analyzer rule on each chosen plan.
 //!
 //! ```text
-//! analyze [race|explore] [--json] [--model NAME]
+//! analyze [race|explore|integrity] [--json] [--model NAME]
 //!         [--mechanism fast|driver] [--seq N,N,...] [--rules]
 //! ```
 //!
@@ -19,6 +19,9 @@
 //! - `explore` — replay every legal interleaving class of each
 //!   solver-chosen plan's sync schedule and certify byte-identical
 //!   session reports.
+//! - `integrity` — rewrite each solver-chosen plan's schedule with
+//!   per-submission ABFT verify nodes and check the result against the
+//!   schedule sanity, `unverified-sink`, and race rules.
 //!
 //! Exit status: 0 when no deny-level finding, 1 otherwise, 2 on usage
 //! errors. CI gates on this.
@@ -26,13 +29,14 @@
 use std::process::ExitCode;
 
 use hetero_analyze::sweep::{
-    explore_models, lint_models, race_lint_degraded_session, race_lint_models, DEFAULT_SEQS,
+    explore_models, integrity_lint_models, lint_models, race_lint_degraded_session,
+    race_lint_models, DEFAULT_SEQS,
 };
 use hetero_analyze::RULES;
 use hetero_soc::sync::SyncMechanism;
 use heterollm::ModelConfig;
 
-const USAGE: &str = "usage: analyze [race|explore] [--json] [--model NAME] \
+const USAGE: &str = "usage: analyze [race|explore|integrity] [--json] [--model NAME] \
      [--mechanism fast|driver] [--seq N,N,...] [--rules]";
 
 #[derive(PartialEq, Eq, Clone, Copy)]
@@ -40,6 +44,7 @@ enum Command {
     Lint,
     Race,
     Explore,
+    Integrity,
 }
 
 struct Args {
@@ -71,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
             args.command = match arg.as_str() {
                 "race" => Command::Race,
                 "explore" => Command::Explore,
+                "integrity" => Command::Integrity,
                 other => return Err(format!("unknown subcommand '{other}'")),
             };
             continue;
@@ -193,6 +199,7 @@ fn main() -> ExitCode {
             }
             report
         }
+        Command::Integrity => integrity_lint_models(&models, &args.seqs, args.mechanism),
     };
 
     if args.json {

@@ -177,7 +177,9 @@ fn replay(
         let duration = match e.kind {
             EventKind::Submit => SimTime::from_micros(100 + 17 * i as u64),
             EventKind::Switch => sync.backend_switch(),
-            EventKind::Rendezvous => sync.rendezvous(dominance),
+            // Verification rendezvouses with the CPU control plane to
+            // read the checksum vectors — same cost class as a join.
+            EventKind::Rendezvous | EventKind::Verify => sync.rendezvous(dominance),
         };
         let a = match e.backend {
             Backend::Cpu => 0,
@@ -236,6 +238,7 @@ fn class_report(
         },
         power: meter.report(),
         degradation: None,
+        integrity: None,
     }
 }
 

@@ -22,6 +22,7 @@
 //! | `unsynchronized-reuse` | deny | pool slots recycle only across ordered lifetime boundaries (§4.2) |
 //! | `lost-signal`        | deny | every wait observes a flag some actor signals (§4.2) |
 //! | `interleaving-determinism` | deny | all legal interleavings yield one byte-identical report (§4.2) |
+//! | `unverified-sink`    | deny | with verification on, no submission reaches a sink unchecked (§4.2) |
 //!
 //! The last four rules are *dynamic-evidence* rules: they run over a
 //! typed concurrency event log ([`heterollm::trace::ConcurrencyLog`])
@@ -58,8 +59,11 @@ pub use mem::{check_regions, TensorRegion};
 pub use plan_rules::{check_plan, PlanContext};
 pub use race::{check_log, check_schedule_races, log_from_schedule};
 pub use rules::{rule, RuleInfo, RULES};
-pub use sched::{check_schedule, retry_schedule, EventKind, SyncEvent, SyncSchedule};
-pub use sweep::lint_models;
+pub use sched::{
+    check_schedule, check_unverified_sink, retry_schedule, verified_schedule, EventKind, SyncEvent,
+    SyncSchedule,
+};
+pub use sweep::{integrity_lint_models, lint_models};
 
 use hetero_graph::partition::PartitionPlan;
 

@@ -391,7 +391,11 @@ pub fn log_from_schedule(schedule: &SyncSchedule, mechanism: SyncMechanism) -> C
         }
         let reads: Vec<usize> = match ev.kind {
             EventKind::Submit => latest_submit(i, &|b| b == ev.backend).into_iter().collect(),
-            EventKind::Switch => latest_submit(i, &|_| true).into_iter().collect(),
+            // A verify node reads the submission it checks — the same
+            // structural edge a switch has to its producer.
+            EventKind::Switch | EventKind::Verify => {
+                latest_submit(i, &|_| true).into_iter().collect()
+            }
             EventKind::Rendezvous => [Backend::Gpu, Backend::Npu]
                 .iter()
                 .filter_map(|&b| latest_submit(i, &|x| x == b))

@@ -37,6 +37,9 @@ pub const LOST_SIGNAL: &str = "lost-signal";
 /// Rule: every legal interleaving of a sync schedule must produce a
 /// byte-identical session report.
 pub const INTERLEAVING_DETERMINISM: &str = "interleaving-determinism";
+/// Rule: no submission's output may reach a sink without passing
+/// through an ABFT verify node first.
+pub const UNVERIFIED_SINK: &str = "unverified-sink";
 
 /// Metadata for one registered rule.
 #[derive(Debug, Clone, Copy)]
@@ -52,7 +55,7 @@ pub struct RuleInfo {
 }
 
 /// All registered rules.
-pub const RULES: [RuleInfo; 12] = [
+pub const RULES: [RuleInfo; 13] = [
     RuleInfo {
         id: SHAPE_CONSERVATION,
         severity: Severity::Deny,
@@ -133,6 +136,13 @@ pub const RULES: [RuleInfo; 12] = [
         severity: Severity::Deny,
         summary: "all legal interleavings of a sync schedule yield a \
                   byte-identical session report",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: UNVERIFIED_SINK,
+        severity: Severity::Deny,
+        summary: "with integrity verification on, every submission's output \
+                  passes an ABFT verify node before any sink consumes it",
         paper: "§4.2",
     },
 ];

@@ -25,6 +25,9 @@ pub enum EventKind {
     Switch,
     /// Parallel-section join: both backends' results become visible.
     Rendezvous,
+    /// ABFT checksum verification of a submission's output on the CPU
+    /// control plane (the data-integrity layer's detection point).
+    Verify,
 }
 
 /// One node in the happens-before graph.
@@ -184,6 +187,124 @@ pub fn retry_schedule(base: &SyncSchedule) -> SyncSchedule {
             kind: EventKind::Rendezvous,
             waits_on: retry_waits,
         });
+    }
+    out
+}
+
+/// The schedule with the integrity layer's verification pass woven in.
+///
+/// Every submission gains a CPU-side [`EventKind::Verify`] node that
+/// checks its output's ABFT row checksums, and every consumer that
+/// originally waited on the submission is rerouted to wait on the
+/// verify node instead: downstream work may only observe *verified*
+/// data. The derived schedule must still pass [`check_schedule`]
+/// (rendezvous pairing looks through verify nodes transitively) and,
+/// unlike the base schedule, passes [`check_unverified_sink`].
+pub fn verified_schedule(base: &SyncSchedule) -> SyncSchedule {
+    let n = base.events.len();
+    // New index of each base event once verify nodes are spliced in
+    // directly after their submissions (splicing, not appending, keeps
+    // each verify adjacent to its producer in submission order, which
+    // the race-detector lowering relies on).
+    let mut new_idx = Vec::with_capacity(n);
+    let mut next = 0usize;
+    for e in &base.events {
+        new_idx.push(next);
+        next += if e.kind == EventKind::Submit { 2 } else { 1 };
+    }
+    let reroute = |w: usize| -> usize {
+        match base.events.get(w) {
+            // Consumers of a submission wait on its verify node.
+            Some(e) if e.kind == EventKind::Submit => new_idx[w] + 1,
+            Some(_) => new_idx[w],
+            // Keep dangling waits dangling past the new length.
+            None => next + (w - n),
+        }
+    };
+    let mut events = Vec::with_capacity(next);
+    for e in &base.events {
+        let mut rerouted = e.clone();
+        rerouted.waits_on = e.waits_on.iter().map(|&w| reroute(w)).collect();
+        let is_submit = e.kind == EventKind::Submit;
+        let idx = events.len();
+        events.push(rerouted);
+        if is_submit {
+            events.push(SyncEvent {
+                label: format!("verify {}", e.label),
+                backend: Backend::Cpu,
+                kind: EventKind::Verify,
+                waits_on: vec![idx],
+            });
+        }
+    }
+    SyncSchedule { events }
+}
+
+/// Check that no submission's output can reach a sink unverified.
+///
+/// Walks forward from every submission over the dependents edges.
+/// A path that reaches a [`EventKind::Verify`] node is absorbed there —
+/// that data was checked before anything downstream consumed it. A
+/// path that ends at a non-verify sink (or a submission nobody
+/// consumes at all) means corrupted output could silently flow into a
+/// result, and is flagged under the `unverified-sink` rule.
+pub fn check_unverified_sink(schedule: &SyncSchedule, location: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = schedule.events.len();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in schedule.events.iter().enumerate() {
+        for &w in &e.waits_on {
+            if w < n {
+                dependents[w].push(i);
+            }
+        }
+    }
+    let info = rules::rule(rules::UNVERIFIED_SINK).expect("registered");
+    for (s, ev) in schedule.events.iter().enumerate() {
+        if ev.kind != EventKind::Submit {
+            continue;
+        }
+        // Forward BFS, absorbed at verify nodes.
+        let mut seen = vec![false; n];
+        let mut stack = vec![s];
+        seen[s] = true;
+        let mut leak: Option<usize> = None;
+        while let Some(i) = stack.pop() {
+            if schedule.events[i].kind == EventKind::Verify {
+                continue;
+            }
+            if dependents[i].is_empty() {
+                leak = Some(i);
+                break;
+            }
+            for &d in &dependents[i] {
+                if !seen[d] {
+                    seen[d] = true;
+                    stack.push(d);
+                }
+            }
+        }
+        if let Some(sink) = leak {
+            let what = if sink == s {
+                "is consumed by nothing".into()
+            } else {
+                format!(
+                    "flows unverified into sink '{}'",
+                    schedule.events[sink].label
+                )
+            };
+            out.push(Diagnostic {
+                rule_id: rules::UNVERIFIED_SINK.into(),
+                severity: info.severity,
+                location: location.into(),
+                message: format!("submission '{}' {what}", ev.label),
+                suggestion: Some(
+                    "insert a Verify event between the submission and its consumers \
+                     (see verified_schedule)"
+                        .into(),
+                ),
+            });
+        }
     }
     out
 }
@@ -403,6 +524,89 @@ mod tests {
             2,
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn base_plan_schedules_have_unverified_sinks() {
+        // Without the integrity layer, every plan's outputs reach a
+        // sink unchecked — the negative case the rule exists for.
+        for plan in [
+            PartitionPlan::GpuOnly,
+            PartitionPlan::NpuOnly { padded_m: 256 },
+            PartitionPlan::RowCut {
+                gpu_cols: 1024,
+                padded_m: 256,
+            },
+            PartitionPlan::SeqCut {
+                npu_chunks: vec![512, 32],
+                gpu_rows: 56,
+            },
+        ] {
+            let s = SyncSchedule::for_plan(&plan);
+            assert!(!check_unverified_sink(&s, "test").is_empty(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn verified_schedules_pass_both_checks() {
+        for plan in [
+            PartitionPlan::GpuOnly,
+            PartitionPlan::NpuOnly { padded_m: 256 },
+            PartitionPlan::NpuPipe {
+                chunks: vec![1024, 64],
+                padded_rows: 4,
+            },
+            PartitionPlan::RowCut {
+                gpu_cols: 1024,
+                padded_m: 256,
+            },
+            PartitionPlan::SeqCut {
+                npu_chunks: vec![512, 32],
+                gpu_rows: 56,
+            },
+        ] {
+            let v = verified_schedule(&SyncSchedule::for_plan(&plan));
+            assert!(check_schedule(&v, "test").is_empty(), "{plan:?}");
+            assert!(check_unverified_sink(&v, "test").is_empty(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn verified_schedule_adds_one_verify_per_submit() {
+        let base = SyncSchedule::for_plan(&PartitionPlan::SeqCut {
+            npu_chunks: vec![512, 32],
+            gpu_rows: 56,
+        });
+        let submits = base
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Submit)
+            .count();
+        let v = verified_schedule(&base);
+        assert_eq!(v.events.len(), base.events.len() + submits);
+        // The rendezvous now waits only on verify nodes.
+        let r = v
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Rendezvous)
+            .unwrap();
+        for &w in &r.waits_on {
+            assert_eq!(v.events[w].kind, EventKind::Verify);
+        }
+    }
+
+    #[test]
+    fn unverified_sink_names_the_leak() {
+        // submit → switch (sink): the diagnostic should name the sink.
+        let s = SyncSchedule::for_plan(&PartitionPlan::NpuOnly { padded_m: 256 });
+        let diags = check_unverified_sink(&s, "test");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("switch to gpu consumer"));
+        assert_eq!(diags[0].rule_id, rules::UNVERIFIED_SINK);
+        // A lone submission is flagged as consumed by nothing.
+        let lone = SyncSchedule::for_plan(&PartitionPlan::GpuOnly);
+        let diags = check_unverified_sink(&lone, "test");
+        assert!(diags[0].message.contains("consumed by nothing"));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::diag::Report;
 use crate::explore::{explore_schedule, DeterminismCertificate, ExploreConfig};
 use crate::plan_rules::PlanContext;
 use crate::race;
-use crate::sched::{retry_schedule, SyncSchedule};
+use crate::sched::{retry_schedule, verified_schedule, SyncSchedule};
 
 /// Default prefill sequence lengths: the standard (aligned) sizes plus
 /// the paper's misaligned examples (135 from §5.2.2, 300/600 from
@@ -61,6 +61,62 @@ pub fn lint_models(models: &[ModelConfig], seqs: &[usize], mechanism: SyncMechan
             ctx.mechanism = mechanism;
             ctx.compiled_sizes = decode_cfg.standards.clone();
             report.extend(crate::check_plan_full(&choice.plan, &ctx));
+        }
+    }
+    report
+}
+
+/// Lint the *verified* sync schedules of every solver-chosen plan for
+/// `models`: each plan's schedule is rewritten by [`verified_schedule`]
+/// (one ABFT verify node per submission, consumers rerouted through
+/// it) and must then pass the happens-before sanity check, the
+/// `unverified-sink` rule, and the vector-clock race check. The base
+/// (unverified) schedules intentionally fail `unverified-sink` — that
+/// negative case is covered by unit tests, not this sweep, so CI can
+/// gate on a clean report here.
+pub fn integrity_lint_models(
+    models: &[ModelConfig],
+    seqs: &[usize],
+    mechanism: SyncMechanism,
+) -> Report {
+    let mut report = Report::new();
+    let prefill_cfg = SolverConfig {
+        sync: SyncModel::new(mechanism),
+        ..SolverConfig::default()
+    };
+    let decode_cfg = SolverConfig {
+        sync: SyncModel::new(mechanism),
+        ..SolverConfig::decode(1)
+    };
+    let mut lint_one = |schedule: &SyncSchedule, location: String| {
+        let verified = verified_schedule(schedule);
+        let mut diags = crate::sched::check_schedule(&verified, &location);
+        diags.extend(crate::sched::check_unverified_sink(&verified, &location));
+        diags.extend(race::check_schedule_races(&verified, mechanism, &location));
+        report.extend(diags);
+    };
+    for model in models {
+        let prefill = Solver::new(
+            RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+            prefill_cfg.clone(),
+        );
+        let decode = Solver::new(
+            RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+            decode_cfg.clone(),
+        );
+        for (op, k, n) in model.matmul_ops() {
+            for &m in seqs {
+                let choice = prefill.solve(MatmulShape::new(m, k, n), Dominance::NpuDominant);
+                lint_one(
+                    &SyncSchedule::for_plan(&choice.plan),
+                    format!("{}/{op}[m={m},verified]", model.name),
+                );
+            }
+            let choice = decode.solve(MatmulShape::new(1, k, n), Dominance::GpuDominant);
+            lint_one(
+                &SyncSchedule::for_plan(&choice.plan),
+                format!("{}/{op}[decode,verified]", model.name),
+            );
         }
     }
     report
@@ -194,6 +250,16 @@ mod tests {
     fn solver_output_is_clean_for_one_model() {
         let models = [ModelConfig::internlm_1_8b()];
         let report = lint_models(&models, &[32, 300], SyncMechanism::Fast);
+        assert!(report.is_clean(), "{}", report.to_json());
+        assert_eq!(report.summary.warn, 0, "{}", report.to_json());
+        // 4 matmul ops × (2 prefill seqs + 1 decode).
+        assert_eq!(report.summary.checked, 12);
+    }
+
+    #[test]
+    fn verified_solver_schedules_pass_integrity_lint() {
+        let models = [ModelConfig::internlm_1_8b()];
+        let report = integrity_lint_models(&models, &[32, 300], SyncMechanism::Fast);
         assert!(report.is_clean(), "{}", report.to_json());
         assert_eq!(report.summary.warn, 0, "{}", report.to_json());
         // 4 matmul ops × (2 prefill seqs + 1 decode).

@@ -1,6 +1,6 @@
-//! Golden-file test pinning the JSON encoding of the concurrency
-//! diagnostics (`data-race`, `unsynchronized-reuse`, `lost-signal`,
-//! `interleaving-determinism`).
+//! Golden-file test pinning the JSON encoding of the concurrency and
+//! integrity diagnostics (`data-race`, `unsynchronized-reuse`,
+//! `lost-signal`, `interleaving-determinism`, `unverified-sink`).
 //!
 //! The `analyze` CLI's JSON output is consumed by the CI gate; the
 //! golden file makes any change to field names, severity strings,
@@ -9,6 +9,7 @@
 
 use hetero_analyze::explore::{explore_schedule, ExploreConfig};
 use hetero_analyze::race::{check_log, check_schedule_races};
+use hetero_analyze::sched::check_unverified_sink;
 use hetero_analyze::{EventKind, Report, SyncEvent, SyncSchedule};
 use hetero_graph::partition::PartitionPlan;
 use hetero_soc::sync::SyncMechanism;
@@ -91,6 +92,14 @@ fn diagnostics_report() -> Report {
     let (_, diags) = explore_schedule(&nondet, &ExploreConfig::default(), "golden/unordered-gpu");
     report.extend(diags);
 
+    // unverified-sink: a base plan schedule with no verify nodes lets
+    // the NPU output flow into its consumer unchecked.
+    let unverified = SyncSchedule::for_plan(&PartitionPlan::NpuOnly { padded_m: 512 });
+    report.extend(check_unverified_sink(
+        &unverified,
+        "golden/npu-only[no-verify]",
+    ));
+
     report
 }
 
@@ -120,9 +129,10 @@ fn golden_report_covers_every_new_rule() {
         "lost-signal",
         "unsynchronized-reuse",
         "interleaving-determinism",
+        "unverified-sink",
     ] {
         assert!(ids.contains(&rule), "missing {rule}: {ids:?}");
     }
-    assert_eq!(report.summary.checked, 4);
+    assert_eq!(report.summary.checked, 5);
     assert!(!report.is_clean());
 }

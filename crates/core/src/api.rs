@@ -61,6 +61,7 @@ impl InferenceSession {
             decode,
             power,
             degradation: None,
+            integrity: None,
         }
     }
 }

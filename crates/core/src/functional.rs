@@ -155,7 +155,7 @@ impl FunctionalModel {
         for layer in 0..self.cfg.layers {
             x = self.layer_forward(layer, &x, pos)?;
         }
-        self.kv.advance(m);
+        self.kv.advance(m)?;
         Ok(x)
     }
 

@@ -33,6 +33,7 @@ pub mod engines;
 pub mod error;
 pub mod functional;
 pub mod functional_engine;
+pub mod integrity;
 pub mod kv;
 pub mod mempool;
 pub mod model;

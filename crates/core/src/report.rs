@@ -84,6 +84,57 @@ impl DegradationSummary {
     }
 }
 
+/// Data-integrity metrics of a run with verification enabled.
+///
+/// Like [`DegradationSummary`], every field is an integer or a
+/// [`SimTime`] (integer nanoseconds) so same-seed reports serialize
+/// byte-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegritySummary {
+    /// SDC faults actually applied to this run (a scheduled fault whose
+    /// target never executes is not counted).
+    pub injected: usize,
+    /// Corruptions flagged by a verifier (tile checksum, KV seal, or
+    /// graph fingerprint).
+    pub detected: usize,
+    /// Detected corruptions repaired by recompute/rollback/rebuild.
+    pub corrected: usize,
+    /// Detected corruptions left in place (verify-only mode).
+    pub uncorrectable: usize,
+    /// GEMM output tiles checked against their ABFT row checksums.
+    pub tiles_verified: usize,
+    /// Tiles whose checksum residual exceeded tolerance.
+    pub tile_mismatches: usize,
+    /// Tiles recomputed on the opposite backend.
+    pub tile_recomputes: usize,
+    /// `(layer, row)` KV seals re-verified at read time.
+    pub kv_rows_verified: usize,
+    /// Sealed KV rows whose stored bits no longer match their seal.
+    pub kv_mismatches: usize,
+    /// KV rollbacks to the last sealed prefix.
+    pub kv_rollbacks: usize,
+    /// Tokens re-forwarded to rebuild rolled-back KV rows.
+    pub replayed_tokens: usize,
+    /// Compiled-graph fingerprints checked before dispatch.
+    pub graphs_verified: usize,
+    /// Cached graphs whose fingerprint no longer matched.
+    pub graph_mismatches: usize,
+    /// Poisoned graphs invalidated and recompiled.
+    pub graph_rebuilds: usize,
+    /// Escalations to single-backend fallback after a corruption
+    /// streak.
+    pub fallback_escalations: usize,
+    /// Verification overhead as an integer percentage of the run's
+    /// simulated time (detection tax: checksum reductions plus one
+    /// rendezvous per verified tile).
+    pub verify_overhead_pct: u64,
+    /// Median latency of a recovery action (tile recompute, KV
+    /// rollback+replay, or graph rebuild).
+    pub recompute_p50: SimTime,
+    /// 99th-percentile recovery-action latency.
+    pub recompute_p99: SimTime,
+}
+
 /// A full prefill + decode session summary.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SessionReport {
@@ -100,6 +151,12 @@ pub struct SessionReport {
     /// Degradation metrics when the session ran under a disturbance
     /// trace (`None` for quiet single-request sessions).
     pub degradation: Option<DegradationSummary>,
+    /// Integrity metrics when the session ran with verification
+    /// enabled (`None` when integrity mode is off). Omitted from the
+    /// serialized form when absent so integrity-off reports are
+    /// byte-identical to pre-integrity ones.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub integrity: Option<IntegritySummary>,
 }
 
 impl SessionReport {

@@ -27,10 +27,13 @@
 //! under the same disturbances with none of the reactions — the
 //! baseline every `fault_sweep` comparison is made against.
 
-use hetero_soc::disturb::{DisturbanceTrace, SocCondition, Timeline};
+use hetero_graph::{CompileModel, GraphCache};
+use hetero_soc::calib::STANDARD_GRAPH_SIZES;
+use hetero_soc::disturb::{DisturbanceTrace, SdcFault, SdcTrace, SocCondition, Timeline};
+use hetero_soc::kernel::KernelLabel;
 use hetero_soc::power::PowerReport;
 use hetero_soc::sync::{Dominance, SyncMechanism, SyncModel};
-use hetero_soc::{SimTime, SocConfig};
+use hetero_soc::{Backend, KernelDesc, SimTime, Soc, SocConfig};
 use hetero_solver::PartitionPlan;
 use hetero_tensor::rng::splitmix64;
 use hetero_tensor::shape::MatmulShape;
@@ -39,6 +42,7 @@ use serde::{Deserialize, Serialize};
 use crate::engines::hetero_tensor::HeteroTensorEngine;
 use crate::engines::{hetero_soc_config, Engine, EngineKind};
 use crate::error::EngineError;
+use crate::integrity::{IntegrityCounters, IntegrityMode};
 use crate::model::ModelConfig;
 use crate::report::{DegradationSummary, SessionReport};
 use crate::trace::ConcurrencyLog;
@@ -132,6 +136,9 @@ pub struct ControllerConfig {
     /// Charged once per replan, fallback, or sync-mechanism switch
     /// (solver re-solve + graph swap on the real runtime).
     pub replan_overhead: SimTime,
+    /// Data-integrity layer mode; `Off` preserves the pre-integrity
+    /// controller behavior exactly.
+    pub integrity: IntegrityMode,
 }
 
 impl ControllerConfig {
@@ -143,6 +150,7 @@ impl ControllerConfig {
             max_sync_retries: 1,
             retry_backoff: SimTime::from_micros(500),
             replan_overhead: SimTime::from_millis(5),
+            integrity: IntegrityMode::Off,
         }
     }
 
@@ -151,6 +159,15 @@ impl ControllerConfig {
         Self {
             adaptive: false,
             ..Self::adaptive(slo)
+        }
+    }
+
+    /// Same configuration with the integrity layer in `mode`.
+    #[must_use]
+    pub fn with_integrity(self, mode: IntegrityMode) -> Self {
+        Self {
+            integrity: mode,
+            ..self
         }
     }
 }
@@ -246,6 +263,17 @@ pub struct RuntimeController {
     /// Session-wide concurrency log spanning engine rebuilds
     /// (`None` = recording off).
     clog: Option<ConcurrencyLog>,
+    /// The NPU graph store requests dispatch through; the target of
+    /// persistent [`SdcFault::GraphPoison`] faults.
+    graphs: GraphCache,
+    /// SDC events not yet due, ascending by time.
+    sdc_pending: Vec<hetero_soc::disturb::SdcEvent>,
+    icounters: IntegrityCounters,
+    /// Consecutive served requests that observed a detection; at
+    /// [`SloPolicy::streak`] the controller escalates to a
+    /// single-backend fallback (a stuck corruption source is treated
+    /// like a failing backend).
+    corruption_streak: usize,
 }
 
 impl RuntimeController {
@@ -255,6 +283,8 @@ impl RuntimeController {
         let sync = SyncMechanism::Fast;
         let engine = HeteroTensorEngine::new(model, sync);
         let pristine = engine.soc().config().clone();
+        let mut graphs = GraphCache::new(model.graph_set(), CompileModel::default());
+        graphs.preload(&STANDARD_GRAPH_SIZES);
         Self {
             model: model.clone(),
             cfg,
@@ -281,6 +311,10 @@ impl RuntimeController {
             decode_tokens: 0,
             decode_time: SimTime::ZERO,
             clog: None,
+            graphs,
+            sdc_pending: Vec::new(),
+            icounters: IntegrityCounters::default(),
+            corruption_streak: 0,
         }
     }
 
@@ -332,7 +366,28 @@ impl RuntimeController {
         requests: &[InferenceRequest],
         trace: &DisturbanceTrace,
     ) -> Result<DegradationReport, EngineError> {
+        self.run_with_sdc(requests, trace, &SdcTrace::new(0))
+    }
+
+    /// [`Self::run`] with a seeded silent-data-corruption trace landing
+    /// faults while the stream is served. With integrity `Off` the SDC
+    /// events are inert (nothing observes them — the silent-corruption
+    /// baseline); `Verify` detects and quarantines; `Recover`
+    /// additionally recomputes/rebuilds, charging the recovery time to
+    /// the victim request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_with_sdc(
+        &mut self,
+        requests: &[InferenceRequest],
+        trace: &DisturbanceTrace,
+        sdc: &SdcTrace,
+    ) -> Result<DegradationReport, EngineError> {
         let timeline = trace.timeline()?;
+        self.sdc_pending = sdc.events.clone();
+        self.sdc_pending.sort_by_key(|e| e.at);
         for req in requests {
             self.serve(req, &timeline)?;
         }
@@ -404,6 +459,11 @@ impl RuntimeController {
                 makespan: self.now,
             },
             degradation: Some(summary.clone()),
+            integrity: self
+                .cfg
+                .integrity
+                .verifies()
+                .then(|| self.icounters.summary(self.now)),
         };
         Ok(DegradationReport {
             adaptive: self.cfg.adaptive,
@@ -434,6 +494,7 @@ impl RuntimeController {
             return Ok(());
         }
         overhead += self.sync_penalty(&cond);
+        overhead += self.integrity_step(start, req);
 
         // Execution always experiences the disturbance, adaptive or
         // not; derates apply to the pristine base so they never stack.
@@ -461,6 +522,155 @@ impl RuntimeController {
         self.decode_tokens += decode.tokens;
         self.decode_time += decode.elapsed;
         Ok(())
+    }
+
+    /// Price `kernels` on a quiet copy of the current pristine SoC
+    /// (pure pricing — the live engine's clock and power are
+    /// untouched).
+    fn price(&self, backend: Backend, kernels: &[KernelDesc]) -> SimTime {
+        Soc::new(self.pristine.clone()).run_serial(backend, kernels)
+    }
+
+    /// The per-request integrity pass: land due SDC events, charge the
+    /// detection tax, and quarantine/recover what the verifiers flag.
+    /// Returns the latency charged to this request.
+    ///
+    /// The controller serves timing-level engines, so detection here is
+    /// event-driven rather than arithmetic: an SDC event that has
+    /// landed *is* what the matching verifier (tile checksum, KV seal,
+    /// graph fingerprint — the `FunctionalHeteroEngine` implements the
+    /// real math) reports. The tax and recovery costs are priced
+    /// through the SoC model so the overhead shows up in TTFT.
+    fn integrity_step(&mut self, start: SimTime, req: &InferenceRequest) -> SimTime {
+        if !self.cfg.integrity.verifies() {
+            return SimTime::ZERO;
+        }
+        let recover = self.cfg.integrity.recovers();
+        let layers = self.model.layers as u64;
+        let ops = self.model.matmul_ops();
+
+        // Land every event due by this request's start.
+        let split = self.sdc_pending.partition_point(|e| e.at <= start);
+        let mut tile_flips: Vec<u64> = Vec::new();
+        let mut kv_hits: Vec<u64> = Vec::new();
+        for e in self.sdc_pending.drain(..split) {
+            self.icounters.injected += 1;
+            match e.fault {
+                SdcFault::TileFlip { elem_draw, .. } => tile_flips.push(elem_draw),
+                SdcFault::KvCorrupt { row_draw, .. } => kv_hits.push(row_draw),
+                SdcFault::GraphPoison { size_draw } => {
+                    let sizes = self.graphs.compiled_sizes();
+                    let m = sizes[(size_draw % sizes.len() as u64) as usize];
+                    self.graphs.poison(m, size_draw);
+                }
+            }
+        }
+
+        // Detection tax. At production scale the checksum sums ride the
+        // GEMM itself (`s` folds into the weight upload, row sums of C
+        // accumulate in the epilogue — both vanish inside the GEMM's
+        // own O(m·k·n)), so what the CPU verifier pays per tile is
+        // reading the two per-row checksum vectors and comparing, plus
+        // one fast-sync rendezvous per verified tile; the KV-seal
+        // rehash streams the rows appended this request.
+        let m = req.prompt_tokens as u64;
+        let reductions: Vec<KernelDesc> = ops
+            .iter()
+            .map(|_| KernelDesc::mem_bound(KernelLabel::Other, 16 * m, 8, 4 * m))
+            .collect();
+        let kv_bytes = 2 * layers * m * self.model.kv_dim() as u64 * 2;
+        let rehash = KernelDesc::mem_bound(KernelLabel::KvAppend, kv_bytes, 8, kv_bytes / 4);
+        let per_layer = self.price(Backend::Cpu, &reductions);
+        let tiles = layers * ops.len() as u64;
+        let rdv = SyncModel::new(self.sync).rendezvous(Dominance::NpuDominant);
+        let tax = SimTime::from_nanos(per_layer.as_nanos() * layers + rdv.as_nanos() * tiles)
+            + self.price(Backend::Cpu, &[rehash]);
+        self.icounters.tiles_verified += tiles as usize;
+        self.icounters.kv_rows_verified += req.prompt_tokens * self.model.layers;
+        self.icounters.graphs_verified += self.graphs.compiled_sizes().len();
+        self.icounters.verify_time += tax;
+        let mut overhead = tax;
+
+        // Quarantine and recover what the verifiers flagged.
+        let mut detections = 0usize;
+        for draw in tile_flips {
+            self.icounters.tile_mismatches += 1;
+            self.icounters.detected += 1;
+            detections += 1;
+            if recover {
+                // Recompute the tile on the backend that did not
+                // produce it; under the NPU-dominant plans the victim
+                // tile is NPU work, so the GPU arbitrates.
+                let (_, k, n) = ops[(draw % ops.len() as u64) as usize];
+                let shape = MatmulShape::new(req.prompt_tokens.max(1), k, n);
+                let t = self.price(Backend::Gpu, &[crate::engines::gpu_kernel(shape)]);
+                overhead += t;
+                self.icounters.tile_recomputes += 1;
+                self.icounters.corrected += 1;
+                self.icounters.recompute_latencies.push(t);
+            } else {
+                self.icounters.uncorrectable += 1;
+            }
+        }
+        for draw in kv_hits {
+            self.icounters.kv_mismatches += 1;
+            self.icounters.detected += 1;
+            detections += 1;
+            if recover {
+                // Roll back to the sealed prefix and replay the
+                // dropped suffix through the NPU prefill path.
+                let replay = 1 + (draw % 32) as usize;
+                let replays: Vec<KernelDesc> = ops
+                    .iter()
+                    .map(|&(_, k, n)| crate::engines::npu_kernel(MatmulShape::new(replay, k, n)))
+                    .collect();
+                let t = SimTime::from_nanos(self.price(Backend::Npu, &replays).as_nanos() * layers);
+                overhead += t;
+                self.icounters.kv_rollbacks += 1;
+                self.icounters.replayed_tokens += replay;
+                self.icounters.corrected += 1;
+                self.icounters.recompute_latencies.push(t);
+            } else {
+                self.icounters.uncorrectable += 1;
+            }
+        }
+        for size in self.graphs.poisoned_sizes() {
+            self.icounters.graph_mismatches += 1;
+            self.icounters.detected += 1;
+            detections += 1;
+            // Either way the poisoned artifact is quarantined (dropped
+            // from the store — a miss compiles fresh, it can never
+            // dispatch); only `Recover` rebuilds it now and pays the
+            // compile time.
+            self.graphs.invalidate(size);
+            if recover {
+                let t = self.graphs.ensure(size);
+                overhead += t;
+                self.icounters.graph_rebuilds += 1;
+                self.icounters.corrected += 1;
+                self.icounters.recompute_latencies.push(t);
+            } else {
+                self.icounters.uncorrectable += 1;
+            }
+        }
+
+        // A corruption streak reads as a failing backend: escalate to
+        // single-backend fallback through the watchdog.
+        if detections > 0 {
+            self.corruption_streak += 1;
+            if recover
+                && self.cfg.adaptive
+                && self.corruption_streak >= self.cfg.slo.streak
+                && matches!(self.engine, ActiveEngine::Primary(_))
+            {
+                self.slow_streak = self.cfg.slo.streak;
+                self.icounters.fallback_escalations += 1;
+                self.corruption_streak = 0;
+            }
+        } else {
+            self.corruption_streak = 0;
+        }
+        overhead
     }
 
     /// Apply the adaptive reaction policy for the condition at this
@@ -715,6 +925,119 @@ mod tests {
             .run(&[], &trace)
             .unwrap_err();
         assert!(matches!(err, EngineError::Causality(_)));
+    }
+
+    fn sdc_run(mode: IntegrityMode, seed: u64, sdc_seed: u64) -> DegradationReport {
+        let model = ModelConfig::internlm_1_8b();
+        let slo = SloPolicy::calibrated(&model);
+        let cfg = ControllerConfig::adaptive(slo).with_integrity(mode);
+        let requests = conversation_traffic(seed, 12, SimTime::from_millis(500));
+        // Quiet disturbance trace: isolate the integrity layer.
+        let trace = DisturbanceTrace::new(seed);
+        RuntimeController::new(&model, cfg)
+            .run_with_sdc(&requests, &trace, &SdcTrace::standard(sdc_seed))
+            .expect("quiet trace is well-formed")
+    }
+
+    #[test]
+    fn integrity_off_leaves_sdc_events_inert() {
+        let faulted = sdc_run(IntegrityMode::Off, 5, 42);
+        assert!(faulted.session.integrity.is_none());
+        // Byte-identical to a run that never saw the SDC trace at all:
+        // nothing observes silent corruption at the timing level.
+        let model = ModelConfig::internlm_1_8b();
+        let slo = SloPolicy::calibrated(&model);
+        let requests = conversation_traffic(5, 12, SimTime::from_millis(500));
+        let clean = RuntimeController::new(&model, ControllerConfig::adaptive(slo))
+            .run(&requests, &DisturbanceTrace::new(5))
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&faulted).unwrap(),
+            serde_json::to_string(&clean).unwrap()
+        );
+    }
+
+    #[test]
+    fn recover_arm_detects_and_repairs_every_injection() {
+        let r = sdc_run(IntegrityMode::Recover, 5, 42);
+        let s = r.session.integrity.expect("integrity summary present");
+        assert_eq!(s.injected, 6, "standard SDC trace lands 3+2+1 faults");
+        assert_eq!(s.detected, s.injected, "{s:?}");
+        assert_eq!(s.corrected, s.detected, "{s:?}");
+        assert_eq!(s.uncorrectable, 0);
+        assert_eq!(s.tile_recomputes, 3);
+        assert_eq!(s.kv_rollbacks, 2);
+        assert_eq!(s.graph_rebuilds, 1);
+        assert!(s.replayed_tokens > 0);
+        assert!(s.tiles_verified > 0 && s.kv_rows_verified > 0 && s.graphs_verified > 0);
+        assert!(s.recompute_p99 >= s.recompute_p50);
+    }
+
+    #[test]
+    fn verify_arm_detects_but_does_not_repair() {
+        let r = sdc_run(IntegrityMode::Verify, 5, 42);
+        let s = r.session.integrity.expect("integrity summary present");
+        assert_eq!(s.detected, s.injected);
+        assert_eq!(s.corrected, 0);
+        assert_eq!(s.uncorrectable, s.detected);
+        assert_eq!(s.tile_recomputes + s.kv_rollbacks + s.graph_rebuilds, 0);
+    }
+
+    #[test]
+    fn verify_overhead_is_bounded() {
+        // The acceptance bound from the integrity experiment: turning
+        // verification on inflates p99 TTFT by less than 15% on a
+        // clean trace.
+        let off = sdc_run(IntegrityMode::Off, 5, 0);
+        let on = sdc_run(IntegrityMode::Verify, 5, 0);
+        let (off_p99, on_p99) = (
+            off.summary.p99_ttft.as_nanos(),
+            on.summary.p99_ttft.as_nanos(),
+        );
+        assert!(on_p99 >= off_p99, "verification cannot be free");
+        assert!(
+            on_p99 * 100 < off_p99 * 115,
+            "verify-on p99 TTFT {on_p99}ns vs off {off_p99}ns exceeds 15%"
+        );
+        let s = on.session.integrity.unwrap();
+        assert!(s.verify_overhead_pct < 15);
+    }
+
+    #[test]
+    fn integrity_reports_are_seed_deterministic() {
+        let a = serde_json::to_string(&sdc_run(IntegrityMode::Recover, 5, 42)).unwrap();
+        let b = serde_json::to_string(&sdc_run(IntegrityMode::Recover, 5, 42)).unwrap();
+        assert_eq!(a, b);
+        let c = serde_json::to_string(&sdc_run(IntegrityMode::Recover, 5, 43)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corruption_streak_escalates_to_fallback() {
+        use hetero_soc::disturb::SdcEvent;
+        let model = ModelConfig::internlm_1_8b();
+        let slo = SloPolicy::calibrated(&model);
+        let cfg = ControllerConfig::adaptive(slo).with_integrity(IntegrityMode::Recover);
+        let mut c = RuntimeController::new(&model, cfg);
+        let req = InferenceRequest {
+            arrival: SimTime::ZERO,
+            prompt_tokens: 64,
+            response_tokens: 8,
+        };
+        for i in 0..c.cfg.slo.streak {
+            c.sdc_pending = vec![SdcEvent {
+                at: SimTime::ZERO,
+                fault: SdcFault::TileFlip {
+                    proj_index: i,
+                    elem_draw: 7,
+                    bit: 30,
+                },
+            }];
+            c.integrity_step(SimTime::from_millis(1), &req);
+        }
+        assert_eq!(c.icounters.fallback_escalations, 1);
+        assert_eq!(c.slow_streak, c.cfg.slo.streak, "watchdog armed");
+        assert_eq!(c.corruption_streak, 0, "streak resets after escalating");
     }
 
     #[test]

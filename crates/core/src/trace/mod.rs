@@ -106,8 +106,9 @@ fn aux(op: &'static str, label: KernelLabel, read: u64, write: u64, flops: u64) 
 fn attention(cfg: &ModelConfig, m: usize, ctx: usize) -> TraceOp {
     let (h, hd, heads) = (cfg.hidden as u64, cfg.head_dim() as u64, cfg.heads as u64);
     let flops = 2 * 2 * m as u64 * heads * hd * ctx as u64;
-    let kv_elem_bits = cfg.kv_dtype.bits() as u64;
-    let kv_bytes = 2 * ctx as u64 * cfg.kv_dim() as u64 * kv_elem_bits / 8;
+    // One layer's K+V traffic, from the same formula the KV ablation
+    // uses so the two can never drift apart.
+    let kv_bytes = crate::kv::KvCache::decode_read_bytes(1, cfg.kv_dim(), ctx, cfg.kv_dtype);
     let act_bytes = m as u64 * h * 2;
     TraceOp {
         op: "attention",

@@ -1,0 +1,72 @@
+//! Golden-file test pinning the JSON encoding of
+//! [`heterollm::report::IntegritySummary`].
+//!
+//! The integrity report is consumed by the CI determinism gate
+//! (`fault_sweep --integrity` runs twice and `cmp`s the output), so
+//! any change to field names, field order, or value encoding must be
+//! an explicit, reviewed diff. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p heterollm --test integrity_golden`.
+
+use hetero_soc::disturb::SdcTrace;
+use heterollm::functional_engine::FunctionalHeteroEngine;
+use heterollm::integrity::IntegrityMode;
+use heterollm::ModelConfig;
+
+/// The deterministic summary the unit tests also pin: tiny weights
+/// (seed 77), the standard SDC trace (seed 42), recover mode.
+fn recover_summary_json() -> String {
+    let mut engine = FunctionalHeteroEngine::new(ModelConfig::tiny(), 77)
+        .unwrap()
+        .with_integrity(IntegrityMode::Recover);
+    engine.inject(&SdcTrace::standard(42));
+    engine.generate(&[3, 17, 99, 4, 42, 7, 250, 1], 12).unwrap();
+    let summary = engine.integrity_summary().expect("recover summary");
+    serde_json::to_string_pretty(&summary).expect("serialize summary")
+}
+
+#[test]
+fn integrity_summary_json_is_golden() {
+    let json = recover_summary_json();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/integrity_summary.json"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &json).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file checked in");
+    assert_eq!(
+        json, golden,
+        "IntegritySummary JSON encoding changed; review and regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn integrity_summary_covers_every_counter() {
+    // The golden file must exercise the full shape: every field name
+    // appears, and the structural counters are non-zero so a field
+    // accidentally hard-wired to zero cannot hide.
+    let json = recover_summary_json();
+    for field in [
+        "injected",
+        "detected",
+        "corrected",
+        "uncorrectable",
+        "tiles_verified",
+        "tile_mismatches",
+        "tile_recomputes",
+        "kv_rows_verified",
+        "kv_mismatches",
+        "kv_rollbacks",
+        "replayed_tokens",
+        "graphs_verified",
+        "graph_mismatches",
+        "graph_rebuilds",
+        "fallback_escalations",
+        "verify_overhead_pct",
+        "recompute_p50",
+        "recompute_p99",
+    ] {
+        assert!(json.contains(&format!("\"{field}\"")), "missing {field}");
+    }
+}

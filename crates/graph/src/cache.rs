@@ -5,9 +5,10 @@
 //! once per length; engines preload the standard sizes offline and the
 //! Online-prepare baseline compiles at request time.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hetero_soc::SimTime;
+use hetero_tensor::abft::fingerprint_bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::compile::CompileModel;
@@ -32,6 +33,11 @@ pub struct GraphCache {
     model: CompileModel,
     compiled: BTreeSet<usize>,
     total_compile_time: SimTime,
+    /// Stored content fingerprint per compiled length. A fresh compile
+    /// stores the expected value; persistent SDC (a poisoned compiled
+    /// graph) makes the stored value diverge from expected.
+    #[serde(default)]
+    fingerprints: BTreeMap<usize, u64>,
 }
 
 impl GraphCache {
@@ -42,7 +48,22 @@ impl GraphCache {
             model,
             compiled: BTreeSet::new(),
             total_compile_time: SimTime::ZERO,
+            fingerprints: BTreeMap::new(),
         }
+    }
+
+    /// The content fingerprint a clean compile of length `m` produces:
+    /// FNV-1a over the instantiated operator set. Deterministic, so a
+    /// verifier can recompute it without the compiled artifact.
+    fn expected_fingerprint(&self, m: usize) -> u64 {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(m as u64).to_le_bytes());
+        for t in &self.set.templates {
+            bytes.extend_from_slice(t.name.as_bytes());
+            bytes.extend_from_slice(&(t.k as u64).to_le_bytes());
+            bytes.extend_from_slice(&(t.n as u64).to_le_bytes());
+        }
+        fingerprint_bytes(&bytes)
     }
 
     /// Whether a graph for sequence length `m` exists.
@@ -63,8 +84,48 @@ impl GraphCache {
             "compiling a non-empty graph set must charge time (m={m})"
         );
         self.compiled.insert(m);
+        self.fingerprints.insert(m, self.expected_fingerprint(m));
         self.total_compile_time += t;
         t
+    }
+
+    /// Corrupt the stored graph of length `m` (persistent-SDC
+    /// injection hook): the fault flips one fingerprint bit chosen by
+    /// `draw`. Returns `false` when no graph of that length exists.
+    pub fn poison(&mut self, m: usize, draw: u64) -> bool {
+        match self.fingerprints.get_mut(&m) {
+            Some(fp) => {
+                *fp ^= 1u64 << (draw % 64);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Verify the stored graph of length `m` against its recomputed
+    /// expected fingerprint. Absent graphs are vacuously clean (a miss
+    /// compiles fresh, it cannot dispatch a poisoned artifact).
+    pub fn verify(&self, m: usize) -> bool {
+        self.fingerprints
+            .get(&m)
+            .is_none_or(|fp| *fp == self.expected_fingerprint(m))
+    }
+
+    /// Compiled lengths whose stored fingerprint mismatches, ascending.
+    pub fn poisoned_sizes(&self) -> Vec<usize> {
+        self.compiled
+            .iter()
+            .copied()
+            .filter(|&m| !self.verify(m))
+            .collect()
+    }
+
+    /// Drop the graph of length `m` so the next [`Self::ensure`]
+    /// recompiles (and re-charges) it — the quarantine step for a
+    /// poisoned artifact. Returns whether a graph was dropped.
+    pub fn invalidate(&mut self, m: usize) -> bool {
+        self.fingerprints.remove(&m);
+        self.compiled.remove(&m)
     }
 
     /// Preload graphs for `sizes`, returning the total compile time.
@@ -123,6 +184,41 @@ mod tests {
         let mut c = cache();
         assert_eq!(c.ensure(0), SimTime::ZERO);
         assert!(!c.has(0));
+    }
+
+    #[test]
+    fn poison_then_verify_then_invalidate() {
+        let mut c = cache();
+        c.preload(&[64, 256]);
+        assert!(c.verify(64) && c.verify(256));
+        assert!(c.poisoned_sizes().is_empty());
+        // Absent lengths are vacuously clean and cannot be poisoned.
+        assert!(c.verify(128));
+        assert!(!c.poison(128, 9));
+
+        assert!(c.poison(256, 17));
+        assert!(c.verify(64));
+        assert!(!c.verify(256));
+        assert_eq!(c.poisoned_sizes(), vec![256]);
+
+        // Quarantine: drop it, recompile recharges, and the rebuilt
+        // graph verifies again.
+        assert!(c.invalidate(256));
+        assert!(!c.has(256));
+        assert!(c.ensure(256) > SimTime::ZERO);
+        assert!(c.verify(256));
+        assert!(c.poisoned_sizes().is_empty());
+    }
+
+    #[test]
+    fn fingerprints_depend_on_length_and_set() {
+        let c = cache();
+        assert_ne!(c.expected_fingerprint(64), c.expected_fingerprint(128));
+        let other = GraphCache::new(
+            GraphSet::new(vec![crate::template::OpTemplate::new("qkv", 64, 64)]),
+            CompileModel::default(),
+        );
+        assert_ne!(c.expected_fingerprint(64), other.expected_fingerprint(64));
     }
 
     #[test]

@@ -294,6 +294,134 @@ impl DisturbanceTrace {
     }
 }
 
+/// One kind of silent-data-corruption (SDC) fault.
+///
+/// Unlike [`Disturbance`] windows, which perturb *timing*, SDC faults
+/// perturb *values*: a flipped element in a GEMM output tile, a
+/// corrupted stored KV row, or a poisoned compiled NPU graph. Faults
+/// carry raw seeded draws (`*_draw`) rather than resolved coordinates
+/// so one trace can be replayed against models of any size — the
+/// consumer reduces each draw modulo its own dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SdcFault {
+    /// Transient: one bit flip in the output tile of one weight
+    /// projection. Detected (or not) by the ABFT tile checksum the
+    /// moment the tile is produced.
+    TileFlip {
+        /// Which weight projection (0-based launch index across the
+        /// session) the flip lands in.
+        proj_index: usize,
+        /// Seeded draw selecting the flipped element (`% numel`).
+        elem_draw: u64,
+        /// Which bit of the `f32` representation flips.
+        bit: u32,
+    },
+    /// Sticky: a stored KV-cache element is corrupted in place and
+    /// stays wrong until rewritten — caught by read-time seal
+    /// verification, possibly many forwards later.
+    KvCorrupt {
+        /// The corruption lands after this many completed forwards.
+        after_forwards: usize,
+        /// Seeded draw selecting the layer (`% layers`).
+        layer_draw: u64,
+        /// Seeded draw selecting the stored row (`% len`).
+        row_draw: u64,
+        /// Seeded draw selecting the column (`% kv_dim`).
+        col_draw: u64,
+        /// Which bit of the stored `f32` flips.
+        bit: u32,
+    },
+    /// Persistent: a corrupt weight upload poisons one *cached,
+    /// compiled* NPU graph (§3.2's static-graph model), tainting every
+    /// inference routed through it until the cache entry is invalidated
+    /// and rebuilt.
+    GraphPoison {
+        /// Seeded draw selecting the poisoned graph size (`% |sizes|`).
+        size_draw: u64,
+    },
+}
+
+/// An SDC fault scheduled at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdcEvent {
+    /// When the fault strikes (used by timing-level consumers; the
+    /// functional path keys off the fault's own launch indices).
+    pub at: SimTime,
+    /// The fault.
+    pub fault: SdcFault,
+}
+
+/// A seeded schedule of SDC faults. Same seed, same faults.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdcTrace {
+    /// Seed the trace was generated from (0 for hand-built traces).
+    pub seed: u64,
+    /// The scheduled faults, ordered by construction.
+    pub events: Vec<SdcEvent>,
+}
+
+impl SdcTrace {
+    /// An empty, hand-buildable trace.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Add a fault at `at`.
+    #[must_use]
+    pub fn with(mut self, at: SimTime, fault: SdcFault) -> Self {
+        self.events.push(SdcEvent { at, fault });
+        self
+    }
+
+    /// The standard SDC evaluation trace: three transient tile flips,
+    /// two sticky KV corruptions and one persistent graph poisoning
+    /// over a ~5 s horizon. Draw indices start at 100 so the stream
+    /// does not overlap [`DisturbanceTrace::standard`] on the same
+    /// seed.
+    ///
+    /// Tile flips always target the top exponent bit
+    /// ([`hetero_tensor::abft::SDC_FLIP_BIT`]), the harm floor of the
+    /// ABFT detectability envelope; KV corruptions flip an arbitrary
+    /// bit, since seal verification is bit-exact.
+    pub fn standard(seed: u64) -> Self {
+        let flip_bit = hetero_tensor::abft::SDC_FLIP_BIT;
+        let mut trace = Self::new(seed);
+        for f in 0..3u64 {
+            let i = 100 + 8 * f;
+            trace = trace.with(
+                ms_in(seed, i, 300 + 1_200 * f, 1_200 + 1_200 * f),
+                SdcFault::TileFlip {
+                    proj_index: (32 * f + draw(seed, i + 1) % 32) as usize,
+                    elem_draw: draw(seed, i + 2),
+                    bit: flip_bit,
+                },
+            );
+        }
+        for f in 0..2u64 {
+            let i = 140 + 8 * f;
+            trace = trace.with(
+                ms_in(seed, i, 800 + 1_500 * f, 2_000 + 1_500 * f),
+                SdcFault::KvCorrupt {
+                    after_forwards: (1 + 5 * f + draw(seed, i + 1) % 4) as usize,
+                    layer_draw: draw(seed, i + 2),
+                    row_draw: draw(seed, i + 3),
+                    col_draw: draw(seed, i + 4),
+                    bit: (draw(seed, i + 5) % 32) as u32,
+                },
+            );
+        }
+        trace.with(
+            ms_in(seed, 160, 1_000, 3_000),
+            SdcFault::GraphPoison {
+                size_draw: draw(seed, 161),
+            },
+        )
+    }
+}
+
 /// A piecewise-constant condition function of time, compiled from a
 /// [`DisturbanceTrace`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -424,6 +552,23 @@ mod tests {
                 derated.solo_kernel_time(b, &k) > quiet.solo_kernel_time(b, &k),
                 "{b} must slow down"
             );
+        }
+    }
+
+    #[test]
+    fn standard_sdc_trace_is_deterministic_and_complete() {
+        let a = SdcTrace::standard(42);
+        assert_eq!(a, SdcTrace::standard(42));
+        assert_ne!(a, SdcTrace::standard(43));
+        let kinds =
+            |pred: fn(&SdcFault) -> bool| a.events.iter().filter(|e| pred(&e.fault)).count();
+        assert_eq!(kinds(|f| matches!(f, SdcFault::TileFlip { .. })), 3);
+        assert_eq!(kinds(|f| matches!(f, SdcFault::KvCorrupt { .. })), 2);
+        assert_eq!(kinds(|f| matches!(f, SdcFault::GraphPoison { .. })), 1);
+        for e in &a.events {
+            if let SdcFault::TileFlip { bit, .. } = e.fault {
+                assert_eq!(bit, hetero_tensor::abft::SDC_FLIP_BIT);
+            }
         }
     }
 

@@ -25,6 +25,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod abft;
 pub mod dtype;
 pub mod ops;
 pub mod quant;

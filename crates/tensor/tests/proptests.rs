@@ -6,6 +6,7 @@
 //! split along either dimension and re-merged is exactly the original
 //! GEMM.
 
+use hetero_tensor::abft;
 use hetero_tensor::ops;
 use hetero_tensor::quant::{Int8Matrix, W4Matrix};
 use hetero_tensor::rng::WeightRng;
@@ -196,5 +197,65 @@ proptest! {
     fn transpose_involution(seed in 0u64..1000, r in 1usize..12, c in 1usize..12) {
         let t = seeded(seed, "t", r, c);
         prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    }
+
+    #[test]
+    fn abft_checksum_has_no_false_positives(
+        seed in 0u64..1000,
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+    ) {
+        // A clean GEMM must always pass verification, whatever the
+        // shape and data — the zero-false-positive half of the ABFT
+        // contract.
+        let a = seeded(seed, "a", m, k);
+        let b = seeded(seed, "b", k, n);
+        let c = ops::matmul(&a, &b).unwrap();
+        let checksum = abft::input_checksum(&a, &b).unwrap();
+        let got = abft::output_checksum(&c).unwrap();
+        prop_assert_eq!(abft::verify_tile(&checksum, &got), None);
+    }
+
+    #[test]
+    fn abft_detects_any_exponent_flip(
+        seed in 0u64..1000,
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        elem_draw in 0u64..u64::MAX,
+    ) {
+        // Flipping the top exponent bit of *any* output element
+        // perturbs it by at least 2.0 — beyond the tolerance ceiling —
+        // so detection is guaranteed, and the mismatch localizes to
+        // the corrupted row.
+        let a = seeded(seed, "a", m, k);
+        let b = seeded(seed, "b", k, n);
+        let mut c = ops::matmul(&a, &b).unwrap();
+        let checksum = abft::input_checksum(&a, &b).unwrap();
+        let at = (elem_draw % (m * n) as u64) as usize;
+        let data = c.data_mut();
+        data[at] = abft::flip_bit(data[at], abft::SDC_FLIP_BIT);
+        let got = abft::output_checksum(&c).unwrap();
+        prop_assert_eq!(abft::verify_tile(&checksum, &got), Some(at / n));
+    }
+
+    #[test]
+    fn seal_changes_under_any_single_bit_flip(
+        seed in 0u64..1000,
+        len in 1usize..64,
+        elem_draw in 0u64..u64::MAX,
+        bit in 0u32..32,
+    ) {
+        // The KV seal is bit-exact: flipping any one bit of any sealed
+        // element must change the hash (FNV-1a steps after the
+        // differing byte are injective, so this holds deterministically,
+        // not just with high probability).
+        let data = WeightRng::new(seed).uniform("d", &[len], 1.0).unwrap();
+        let sealed = abft::seal_bits(data.data());
+        let mut flipped = data.data().to_vec();
+        let at = (elem_draw % len as u64) as usize;
+        flipped[at] = abft::flip_bit(flipped[at], bit);
+        prop_assert_ne!(abft::seal_bits(&flipped), sealed);
     }
 }
