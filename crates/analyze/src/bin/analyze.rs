@@ -22,6 +22,9 @@
 //! - `integrity` — rewrite each solver-chosen plan's schedule with
 //!   per-submission ABFT verify nodes and check the result against the
 //!   schedule sanity, `unverified-sink`, and race rules.
+//! - `timeline FILE` — lint an exported Chrome trace-event JSON file
+//!   (`--trace-out` output): spans nest per track, every submit has a
+//!   matching complete, flow arrows pair up, timestamps are integers.
 //!
 //! Exit status: 0 when no deny-level finding, 1 otherwise, 2 on usage
 //! errors. CI gates on this.
@@ -36,15 +39,16 @@ use hetero_analyze::RULES;
 use hetero_soc::sync::SyncMechanism;
 use heterollm::ModelConfig;
 
-const USAGE: &str = "usage: analyze [race|explore|integrity] [--json] [--model NAME] \
-     [--mechanism fast|driver] [--seq N,N,...] [--rules]";
+const USAGE: &str = "usage: analyze [race|explore|integrity|timeline FILE] [--json] \
+     [--model NAME] [--mechanism fast|driver] [--seq N,N,...] [--rules]";
 
-#[derive(PartialEq, Eq, Clone, Copy)]
+#[derive(PartialEq, Eq, Clone)]
 enum Command {
     Lint,
     Race,
     Explore,
     Integrity,
+    Timeline(String),
 }
 
 struct Args {
@@ -77,6 +81,10 @@ fn parse_args() -> Result<Args, String> {
                 "race" => Command::Race,
                 "explore" => Command::Explore,
                 "integrity" => Command::Integrity,
+                "timeline" => {
+                    let path = it.next().ok_or("timeline needs a trace file path")?;
+                    Command::Timeline(path)
+                }
                 other => return Err(format!("unknown subcommand '{other}'")),
             };
             continue;
@@ -159,8 +167,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match args.command {
+    let report = match args.command.clone() {
         Command::Lint => lint_models(&models, &args.seqs, args.mechanism),
+        Command::Timeline(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut report = hetero_analyze::Report::new();
+            report.extend(hetero_analyze::check_trace(&text, &path));
+            report
+        }
         Command::Race => {
             // One representative prefill length (the paper's misaligned
             // 300) unless the user narrowed --seq.

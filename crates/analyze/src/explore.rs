@@ -239,6 +239,7 @@ fn class_report(
         power: meter.report(),
         degradation: None,
         integrity: None,
+        metrics: None,
     }
 }
 

@@ -23,6 +23,14 @@
 //! | `lost-signal`        | deny | every wait observes a flag some actor signals (§4.2) |
 //! | `interleaving-determinism` | deny | all legal interleavings yield one byte-identical report (§4.2) |
 //! | `unverified-sink`    | deny | with verification on, no submission reaches a sink unchecked (§4.2) |
+//! | `trace-format`       | deny | exported traces are Chrome trace-event JSON with integer pid/tid/ts (§5) |
+//! | `span-nesting`       | deny | per track, submit/complete events keep stack discipline (§5) |
+//! | `submit-complete`    | deny | every submit has a matching complete on its track (§5) |
+//! | `flow-match`         | deny | every flow id pairs one start with one finish, in order (§4.2) |
+//!
+//! The trace rules ([`timeline`]) re-check exported `--trace-out`
+//! files from the outside — `analyze timeline <FILE>` parses the JSON
+//! like a trace viewer would, so exporter regressions fail CI.
 //!
 //! The last four rules are *dynamic-evidence* rules: they run over a
 //! typed concurrency event log ([`heterollm::trace::ConcurrencyLog`])
@@ -51,6 +59,7 @@ pub mod race;
 pub mod rules;
 pub mod sched;
 pub mod sweep;
+pub mod timeline;
 
 pub use diag::{Diagnostic, Report, Severity, Summary};
 pub use explore::{explore_schedule, DeterminismCertificate, ExploreConfig};
@@ -64,6 +73,7 @@ pub use sched::{
     SyncSchedule,
 };
 pub use sweep::{integrity_lint_models, lint_models};
+pub use timeline::check_trace;
 
 use hetero_graph::partition::PartitionPlan;
 

@@ -40,6 +40,19 @@ pub const INTERLEAVING_DETERMINISM: &str = "interleaving-determinism";
 /// Rule: no submission's output may reach a sink without passing
 /// through an ABFT verify node first.
 pub const UNVERIFIED_SINK: &str = "unverified-sink";
+/// Rule: an exported trace is a Chrome trace-event document with
+/// integer `pid`/`tid`/`ts` fields on every duration/flow event.
+pub const TRACE_FORMAT: &str = "trace-format";
+/// Rule: per track, submit/complete events observe stack discipline
+/// with non-decreasing timestamps (spans nest, never partially
+/// overlap).
+pub const SPAN_NESTING: &str = "span-nesting";
+/// Rule: every submit (`B`) has a matching complete (`E`) on its
+/// track, and vice versa.
+pub const SUBMIT_COMPLETE: &str = "submit-complete";
+/// Rule: every flow id pairs exactly one start with one finish, and
+/// the finish never precedes the start.
+pub const FLOW_MATCH: &str = "flow-match";
 
 /// Metadata for one registered rule.
 #[derive(Debug, Clone, Copy)]
@@ -55,7 +68,7 @@ pub struct RuleInfo {
 }
 
 /// All registered rules.
-pub const RULES: [RuleInfo; 13] = [
+pub const RULES: [RuleInfo; 17] = [
     RuleInfo {
         id: SHAPE_CONSERVATION,
         severity: Severity::Deny,
@@ -143,6 +156,34 @@ pub const RULES: [RuleInfo; 13] = [
         severity: Severity::Deny,
         summary: "with integrity verification on, every submission's output \
                   passes an ABFT verify node before any sink consumes it",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: TRACE_FORMAT,
+        severity: Severity::Deny,
+        summary: "an exported trace is a Chrome trace-event document whose \
+                  duration/flow events all carry integer pid/tid/ts",
+        paper: "§5 (methodology)",
+    },
+    RuleInfo {
+        id: SPAN_NESTING,
+        severity: Severity::Deny,
+        summary: "per backend track, submit/complete events keep stack \
+                  discipline with non-decreasing timestamps",
+        paper: "§5 (methodology)",
+    },
+    RuleInfo {
+        id: SUBMIT_COMPLETE,
+        severity: Severity::Deny,
+        summary: "every kernel submit has a matching complete on its track \
+                  (nothing left in flight at end of trace)",
+        paper: "§5 (methodology)",
+    },
+    RuleInfo {
+        id: FLOW_MATCH,
+        severity: Severity::Deny,
+        summary: "every cross-backend flow arrow pairs one start with one \
+                  finish, finish never before start",
         paper: "§4.2",
     },
 ];

@@ -24,6 +24,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_alignment",
+        "Ablation: partition-alignment granularity",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Ablation: row-partition alignment (Llama-8B, seq 256, prefill)\n");
     let model = ModelConfig::llama_8b();

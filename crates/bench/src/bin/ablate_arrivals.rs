@@ -23,6 +23,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_arrivals",
+        "Extension experiment: bursty multi-request serving on device",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Extension: bursty request queueing (Llama-3B, 80 requests, ~4 s mean gap)\n");
     let model = ModelConfig::llama_3b();

@@ -21,6 +21,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_coldstart",
+        "Extension experiment: cold start vs first-request latency",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Extension: cold start vs first request (Llama-8B, first prompt = 300 tokens)\n");
     let model = ModelConfig::llama_8b();

@@ -18,6 +18,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_kv_quant",
+        "Extension experiment: INT8 KV-cache quantization",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Extension: INT8 KV cache vs FP16 (Llama-8B decode, Hetero-tensor)\n");
     let f16_model = ModelConfig::llama_8b();

@@ -58,6 +58,11 @@ fn replay(model: &ModelConfig, seq: usize, pooled: bool) -> (u64, f64, f64, u64)
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_mempool",
+        "Ablation: the §4.2 host–device shared memory pool",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Ablation: shared memory pool vs fresh per-op allocation\n");
     let mut t = Table::new(&[

@@ -23,6 +23,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_min_gain",
+        "Ablation: the solver's minimum-parallel-gain threshold",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Ablation: min-parallel-gain threshold (Llama-8B, seq 256 prefill)\n");
     let model = ModelConfig::llama_8b();

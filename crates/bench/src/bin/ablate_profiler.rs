@@ -20,6 +20,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_profiler",
+        "Ablation: real-execution profiling vs decision-tree prediction",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Ablation: profiler mode (real-execution vs decision-tree prediction)\n");
     let mut t = Table::new(&[

@@ -25,6 +25,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_speculative",
+        "Extension experiment: speculative decoding (§4.1.2)",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Extension: speculative decoding (Llama-8B, prompt 256)\n");
     let model = ModelConfig::llama_8b();

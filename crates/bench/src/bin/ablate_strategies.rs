@@ -34,6 +34,11 @@ fn solver(row: bool, seq: bool) -> Solver<RealExecProvider> {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_strategies",
+        "Ablation: partition-strategy families",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Ablation: strategy families (Llama-8B, prefill)\n");
     let model = ModelConfig::llama_8b();

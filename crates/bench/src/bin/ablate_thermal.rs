@@ -25,6 +25,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "ablate_thermal",
+        "Extension experiment: sustained-load thermal throttling",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Extension: thermal throttling over a 30-minute decode session (Llama-8B)\n");
     let model = ModelConfig::llama_8b();

@@ -20,6 +20,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "compare_socs",
+        "Cross-SoC projection: HeteroLLM on the other Table-1 phone SoCs",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Cross-SoC projection: Hetero-tensor on Table-1 phone SoCs (Llama-3B)\n");
     println!("(GPU/NPU throughput scaled from published specs by the 8 Gen 3's");

@@ -25,7 +25,11 @@
 //! Flags: `--seed N` (default 42), `--requests N` (default 24),
 //! `--json` (print the machine-readable comparison on stdout),
 //! `--integrity` (run the SDC arm), `--analyze` (standard
-//! pre-experiment solver lint).
+//! pre-experiment solver lint), `--trace-out PATH` (record the
+//! adaptive arm through the observability layer and write a Chrome
+//! trace-event JSON — replans, fallbacks, and shed requests appear as
+//! `Control` spans on the Controller track), `--metrics` (print the
+//! adaptive arm's all-integer metrics snapshot as one JSON line).
 
 use hetero_analyze::sweep::{integrity_lint_models, race_lint_degraded_session};
 use hetero_analyze::{check_fallback, PlanContext};
@@ -53,10 +57,15 @@ struct Args {
     requests: usize,
     json: bool,
     integrity: bool,
+    trace_out: Option<String>,
+    metrics: bool,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: fault_sweep [--seed N] [--requests N] [--json] [--integrity] [--analyze]");
+    eprintln!(
+        "usage: fault_sweep [--seed N] [--requests N] [--json] [--integrity] [--analyze]\n\
+         \x20                  [--trace-out PATH] [--metrics]"
+    );
     std::process::exit(2);
 }
 
@@ -66,6 +75,8 @@ fn parse_args() -> Args {
         requests: 24,
         json: false,
         integrity: false,
+        trace_out: None,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,6 +86,8 @@ fn parse_args() -> Args {
             "--requests" => args.requests = value().parse().unwrap_or_else(|_| usage()),
             "--json" => args.json = true,
             "--integrity" => args.integrity = true,
+            "--trace-out" => args.trace_out = Some(value()),
+            "--metrics" => args.metrics = true,
             "--analyze" => {} // consumed by maybe_analyze
             _ => usage(),
         }
@@ -288,12 +301,23 @@ fn run_integrity(args: &Args) {
     save_json("fault_sweep_integrity", &comparison);
 }
 
-fn run_arm(model: &ModelConfig, cfg: ControllerConfig, seed: u64, n: usize) -> DegradationReport {
+fn run_arm(
+    model: &ModelConfig,
+    cfg: ControllerConfig,
+    seed: u64,
+    n: usize,
+    timeline: bool,
+) -> (DegradationReport, Option<heterollm::obs::Timeline>) {
     let requests = conversation_traffic(seed, n, SimTime::from_millis(800));
     let trace = DisturbanceTrace::standard(seed);
-    RuntimeController::new(model, cfg)
+    let mut ctl = RuntimeController::new(model, cfg);
+    if timeline {
+        ctl.enable_timeline();
+    }
+    let report = ctl
         .run(&requests, &trace)
-        .expect("standard trace is well-formed")
+        .expect("standard trace is well-formed");
+    (report, ctl.take_timeline())
 }
 
 fn ms(t: SimTime) -> String {
@@ -301,6 +325,24 @@ fn ms(t: SimTime) -> String {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "fault_sweep",
+        "adaptive vs static degradation under a seeded disturbance trace",
+        &[
+            ("--seed N", "disturbance/traffic seed (default 42)"),
+            ("--requests N", "requests per arm (default 24)"),
+            ("--json", "print the machine-readable comparison on stdout"),
+            ("--integrity", "run the silent-data-corruption arm instead"),
+            (
+                "--trace-out PATH",
+                "write a Chrome trace-event JSON of the adaptive arm",
+            ),
+            (
+                "--metrics",
+                "print the adaptive arm's all-integer metrics snapshot as one JSON line",
+            ),
+        ],
+    );
     hetero_bench::maybe_analyze();
     let args = parse_args();
     if args.integrity {
@@ -313,18 +355,21 @@ fn main() {
         args.requests, args.seed
     );
 
+    let observed = args.trace_out.is_some() || args.metrics;
     let slo = SloPolicy::calibrated(&model);
-    let adaptive = run_arm(
+    let (adaptive, timeline) = run_arm(
         &model,
         ControllerConfig::adaptive(slo),
         args.seed,
         args.requests,
+        observed,
     );
-    let baseline = run_arm(
+    let (baseline, _) = run_arm(
         &model,
         ControllerConfig::static_baseline(slo),
         args.seed,
         args.requests,
+        false,
     );
 
     let mut t = Table::new(&["metric", "adaptive", "static"]);
@@ -428,6 +473,27 @@ fn main() {
         race.summary.deny, race.summary.warn
     );
     assert!(race.is_clean(), "degradation-time schedule raced");
+
+    if let Some(tl) = &timeline {
+        tl.check_well_formed()
+            .expect("adaptive timeline well-formed");
+        if let Some(path) = &args.trace_out {
+            let json = heterollm::obs::chrome::to_chrome_json(tl);
+            std::fs::write(path, json).expect("write trace");
+            println!(
+                "trace: {path} ({} spans, {} flows)",
+                tl.spans().len(),
+                tl.flows().len()
+            );
+        }
+        if args.metrics {
+            let snap = heterollm::obs::MetricsRegistry::from_timeline(tl).snapshot();
+            println!(
+                "{}",
+                serde_json::to_string(&snap).expect("metrics serialize")
+            );
+        }
+    }
 
     let comparison = Comparison {
         seed: args.seed,

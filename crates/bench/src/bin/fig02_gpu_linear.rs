@@ -20,6 +20,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "fig02_gpu_linear",
+        "Figure 2: GPU performance with varying tensor sizes",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Figure 2: GPU effective throughput vs square GEMM size\n");
     let gpu = GpuModel::default();

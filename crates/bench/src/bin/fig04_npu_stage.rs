@@ -18,6 +18,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "fig04_npu_stage",
+        "Figure 4: the stage performance of NPUs",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Figure 4: NPU Matmul latency vs sequence rows (stage performance)\n");
     let npu = NpuModel::default();

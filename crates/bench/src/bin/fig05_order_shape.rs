@@ -22,6 +22,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "fig05_order_shape",
+        "Figure 5: order-sensitive and shape-sensitive NPU performance",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Figure 5: order- and shape-sensitive NPU performance\n");
     let npu = NpuModel::default();

@@ -13,6 +13,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "fig06_bandwidth",
+        "Figure 6: total memory bandwidth with single and multiple compute units",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Figure 6: achievable memory bandwidth per processor combination\n");
     let mem = MemorySystem::default();

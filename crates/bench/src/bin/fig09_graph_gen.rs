@@ -14,6 +14,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "fig09_graph_gen",
+        "Figure 9: NPU graph generation time for single operators across",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Figure 9: NPU graph generation time per operator\n");
     let model = CompileModel::default();

@@ -1,9 +1,14 @@
 //! Figure 13: prefill speed of different models under different prompt
 //! lengths, across all engines.
+//!
+//! `--trace-out PATH` additionally captures the representative run of
+//! the figure — Hetero-tensor prefilling Llama-8B at sequence 256 —
+//! through the observability layer and writes a Chrome trace-event
+//! JSON (Perfetto-loadable; see `OBSERVABILITY.md`).
 
 use hetero_bench::{fmt, print_claims, save_json, Claim, Table};
 use hetero_soc::sync::SyncMechanism;
-use heterollm::{EngineKind, ModelConfig};
+use heterollm::{EngineKind, InferenceSession, ModelConfig};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -24,8 +29,27 @@ const ENGINES: [EngineKind; 7] = [
     EngineKind::HeteroTensor,
 ];
 
+fn parse_trace_out() -> Option<String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--trace-out" {
+            return Some(it.next().expect("--trace-out needs a path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    hetero_bench::maybe_help(
+        "fig13_prefill",
+        "Figure 13: prefill speed across engines, models, and prompt lengths",
+        &[(
+            "--trace-out PATH",
+            "also write a Chrome trace of Hetero-tensor prefilling Llama-8B at seq 256",
+        )],
+    );
     hetero_bench::maybe_analyze();
+    let trace_out = parse_trace_out();
     println!("Figure 13: prefill speed (tokens/s)\n");
     let seqs = [64usize, 256, 1024];
     let mut points = Vec::new();
@@ -139,4 +163,15 @@ fn main() {
         ],
     );
     save_json("fig13_prefill", &points);
+
+    if let Some(path) = trace_out {
+        let mut session = InferenceSession::new(EngineKind::HeteroTensor, &ModelConfig::llama_8b());
+        let (_, tl) = session.run_observed(256, 0);
+        tl.check_well_formed().expect("fig13 timeline well-formed");
+        std::fs::write(&path, heterollm::obs::chrome::to_chrome_json(&tl)).expect("write trace");
+        println!(
+            "\n[trace: Hetero-tensor Llama-8B prefill@256 -> {path} ({} spans)]",
+            tl.spans().len()
+        );
+    }
 }

@@ -16,6 +16,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "fig15_fastsync_prefill",
+        "Figure 15: prefill speed of the hetero engines with and without fast sync",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Figure 15: prefill tokens/s with and without fast synchronization\n");
     let mut points = Vec::new();

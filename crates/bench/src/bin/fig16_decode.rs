@@ -1,9 +1,15 @@
 //! Figure 16: decoding rate of all engines across the four models
 //! (prompt length 256).
+//!
+//! `--trace-out PATH` additionally captures the representative run of
+//! the figure — Hetero-tensor decoding 16 tokens on Llama-8B after a
+//! 256-token prompt — through the observability layer and writes a
+//! Chrome trace-event JSON (Perfetto-loadable; see
+//! `OBSERVABILITY.md`).
 
 use hetero_bench::{fmt, print_claims, save_json, Claim, Table};
 use hetero_soc::sync::SyncMechanism;
-use heterollm::{EngineKind, ModelConfig};
+use heterollm::{EngineKind, InferenceSession, ModelConfig};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -22,8 +28,27 @@ const ENGINES: [EngineKind; 6] = [
     EngineKind::HeteroTensor,
 ];
 
+fn parse_trace_out() -> Option<String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--trace-out" {
+            return Some(it.next().expect("--trace-out needs a path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    hetero_bench::maybe_help(
+        "fig16_decode",
+        "Figure 16: decoding rate of all engines across the four models",
+        &[(
+            "--trace-out PATH",
+            "also write a Chrome trace of Hetero-tensor decoding 16 tokens on Llama-8B",
+        )],
+    );
     hetero_bench::maybe_analyze();
+    let trace_out = parse_trace_out();
     println!("Figure 16: decoding rate (tokens/s), prompt length 256\n");
     let mut points = Vec::new();
     let models = ModelConfig::evaluation_models();
@@ -106,4 +131,15 @@ fn main() {
         ],
     );
     save_json("fig16_decode", &points);
+
+    if let Some(path) = trace_out {
+        let mut session = InferenceSession::new(EngineKind::HeteroTensor, &ModelConfig::llama_8b());
+        let (_, tl) = session.run_observed(256, 16);
+        tl.check_well_formed().expect("fig16 timeline well-formed");
+        std::fs::write(&path, heterollm::obs::chrome::to_chrome_json(&tl)).expect("write trace");
+        println!(
+            "\n[trace: Hetero-tensor Llama-8B decode 16@256 -> {path} ({} spans)]",
+            tl.spans().len()
+        );
+    }
 }

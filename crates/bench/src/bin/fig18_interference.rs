@@ -20,6 +20,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "fig18_interference",
+        "Figure 18: GPU interference between inference and a 60 FPS render workload",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Figure 18: prefill with a concurrent game (Llama-8B, seq 256)\n");
     let model = ModelConfig::llama_8b();

@@ -15,6 +15,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "fig19_energy",
+        "Figure 19: power and energy consumption during the Llama-8B prefill",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Figure 19: power and energy, Llama-8B prefill @ seq 256\n");
     let model = ModelConfig::llama_8b();

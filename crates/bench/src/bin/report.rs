@@ -145,6 +145,11 @@ fn row(experiment: &'static str, quantity: &str, paper_val: f64, measured: f64, 
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "report",
+        "run every experiment binary and regenerate EXPERIMENTS.md",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     run_all();
 

@@ -4,6 +4,11 @@ use hetero_bench::{fmt, save_json, Table};
 use hetero_soc::specs::table1;
 
 fn main() {
+    hetero_bench::maybe_help(
+        "table1_socs",
+        "Table 1: specifications of mainstream mobile heterogeneous SoCs",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Table 1: Mobile-side heterogeneous SoC specifications\n");
     let specs = table1();

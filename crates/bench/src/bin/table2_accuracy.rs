@@ -21,6 +21,11 @@ struct Point {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "table2_accuracy",
+        "Table 2 accuracy column: INT-only NPU computation vs float GEMMs",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Table 2 (accuracy column): INT8 NPU computation vs W4A16 FLOAT\n");
     let cfg = ModelConfig::tiny();

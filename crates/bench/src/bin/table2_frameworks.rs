@@ -91,6 +91,11 @@ fn rows() -> Vec<FrameworkRow> {
 }
 
 fn main() {
+    hetero_bench::maybe_help(
+        "table2_frameworks",
+        "Table 2: capability matrix of mobile-side inference frameworks",
+        &[],
+    );
     hetero_bench::maybe_analyze();
     println!("Table 2: Mobile-side inference engine capability matrix\n");
     let rows = rows();

@@ -47,6 +47,44 @@ pub fn maybe_analyze() {
     }
 }
 
+/// Handle `--help`/`-h` for an experiment binary: print a uniform
+/// usage block and exit **0**.
+///
+/// Every experiment binary calls this first in `main`, before
+/// [`maybe_analyze`] and before its own flag parsing, so `--help`
+/// never runs an experiment and never exits non-zero. CI greps the
+/// binaries named in `EXPERIMENTS.md` and `--help`-runs each one; a
+/// binary whose flags drift from its documentation shows up there
+/// (the usage block is the single source of truth both must match).
+///
+/// `flags` lists `(flag-with-metavar, description)` pairs specific to
+/// the binary; the shared `--analyze` and `--help` rows are appended
+/// automatically.
+pub fn maybe_help(bin: &str, about: &str, flags: &[(&str, &str)]) {
+    if !std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        return;
+    }
+    println!("{bin}: {about}\n");
+    println!("usage: cargo run --release -p hetero-bench --bin {bin} [--] [FLAGS]\n");
+    let shared: &[(&str, &str)] = &[
+        (
+            "--analyze",
+            "run the static invariant checker first; abort on deny findings",
+        ),
+        ("--help, -h", "print this help and exit"),
+    ];
+    let width = flags
+        .iter()
+        .chain(shared)
+        .map(|(f, _)| f.len())
+        .max()
+        .unwrap_or(0);
+    for (f, d) in flags.iter().chain(shared) {
+        println!("  {f:<width$}  {d}");
+    }
+    std::process::exit(0);
+}
+
 /// A simple aligned text table.
 #[derive(Debug, Clone)]
 pub struct Table {

@@ -4,6 +4,7 @@ use hetero_soc::sync::SyncMechanism;
 
 use crate::engines::{Engine, EngineKind};
 use crate::model::ModelConfig;
+use crate::obs::{MetricsRegistry, SpanKind, Timeline, Track};
 use crate::report::SessionReport;
 
 /// A full inference session: engine + model, driven through prefill
@@ -62,7 +63,60 @@ impl InferenceSession {
             power,
             degradation: None,
             integrity: None,
+            metrics: None,
         }
+    }
+
+    /// Run the session with the observability layer armed: records a
+    /// span [`Timeline`] against the SoC's simulated clock (kernel
+    /// submit/complete, sync waits, graph compiles, prefill/decode
+    /// phase spans) and attaches an all-integer
+    /// [`crate::obs::MetricsSnapshot`] to the report.
+    ///
+    /// Plain [`InferenceSession::run`] leaves `report.metrics` as
+    /// `None`, so existing golden reports are unaffected by this
+    /// opt-in path.
+    pub fn run_observed(
+        &mut self,
+        prompt_len: usize,
+        decode_tokens: usize,
+    ) -> (SessionReport, Timeline) {
+        self.engine.enable_timeline();
+        let phase_start = self.engine.soc().clock();
+        let prefill = self.engine.prefill(prompt_len);
+        let prefill_end = self.engine.soc().clock();
+        let decode = self.engine.decode(prompt_len, decode_tokens);
+        let decode_end = self.engine.soc().clock();
+        let power = self.engine.finish();
+
+        let mut tl = self.engine.take_timeline().unwrap_or_default();
+        tl.push_span(
+            Track::Cpu,
+            SpanKind::Phase,
+            "prefill",
+            phase_start,
+            prefill_end,
+        );
+        tl.push_span(
+            Track::Cpu,
+            SpanKind::Phase,
+            "decode",
+            prefill_end,
+            decode_end,
+        );
+        let metrics = MetricsRegistry::from_timeline(&tl).snapshot();
+
+        let report = SessionReport {
+            engine: self.engine.name(),
+            model: self.engine.model().name.clone(),
+            prefill,
+            decode,
+            power,
+            degradation: None,
+            integrity: None,
+            metrics: Some(metrics),
+        };
+        (report, tl)
     }
 }
 

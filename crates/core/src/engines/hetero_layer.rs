@@ -18,6 +18,7 @@ use hetero_tensor::shape::MatmulShape;
 use crate::engines::{gpu_kernel, hetero_soc_config, npu_kernel, Engine};
 use crate::error::EngineError;
 use crate::model::ModelConfig;
+use crate::obs::{Timeline, TimelineRecorder};
 use crate::report::PhaseReport;
 use crate::trace::{
     decode_trace, prefill_trace, ConcurrencyLog, ConcurrencyRecorder, OpRole, PhaseTrace,
@@ -59,6 +60,7 @@ pub(crate) struct RoutedCore {
     pub int8_matmuls: bool,
     current: Option<Backend>,
     recorder: Option<ConcurrencyRecorder>,
+    timeline: Option<TimelineRecorder>,
 }
 
 impl RoutedCore {
@@ -93,6 +95,7 @@ impl RoutedCore {
             int8_matmuls: false,
             current: None,
             recorder: None,
+            timeline: None,
         }
     }
 
@@ -104,6 +107,16 @@ impl RoutedCore {
     /// Take the recorded log, ending recording.
     pub(crate) fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
         self.recorder.take().map(ConcurrencyRecorder::finish)
+    }
+
+    /// Start (or reset) span-timeline recording.
+    pub(crate) fn enable_timeline(&mut self) {
+        self.timeline = Some(TimelineRecorder::new());
+    }
+
+    /// Take the recorded timeline, ending recording.
+    pub(crate) fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take().map(TimelineRecorder::finish)
     }
 
     fn npu_matmul_kernel(&self, shape: MatmulShape) -> hetero_soc::KernelDesc {
@@ -121,13 +134,17 @@ impl RoutedCore {
         }
     }
 
-    fn run_on(&mut self, backend: Backend, kernel: &hetero_soc::KernelDesc) {
+    fn run_on(&mut self, backend: Backend, name: &'static str, kernel: &hetero_soc::KernelDesc) {
         if self.current != Some(backend) {
-            if self.current.is_some() {
+            if let Some(from) = self.current {
+                let switch_start = self.soc.clock();
                 self.soc.backend_switch();
+                let mech = self.soc.config().sync.mechanism;
                 if let Some(rec) = &mut self.recorder {
-                    let mech = self.soc.config().sync.mechanism;
                     rec.switch(backend, mech, self.soc.clock());
+                }
+                if let Some(tl) = &mut self.timeline {
+                    tl.switch(from, backend, mech, switch_start, self.soc.clock());
                 }
             }
             self.current = Some(backend);
@@ -136,7 +153,11 @@ impl RoutedCore {
             let mech = self.soc.config().sync.mechanism;
             rec.serial_kernel(backend, kernel.bytes(), mech, self.soc.clock());
         }
+        let kernel_start = self.soc.clock();
         self.soc.run_serial(backend, std::slice::from_ref(kernel));
+        if let Some(tl) = &mut self.timeline {
+            tl.kernel_named(backend, name, kernel_start, self.soc.clock());
+        }
     }
 
     /// The NPU chunk sizes covering `m` rows under this strategy, plus
@@ -148,7 +169,11 @@ impl RoutedCore {
                 SimTime::ZERO,
             ),
             MisalignStrategy::OnlinePrepare => {
+                let hit = self.cache.has(m);
                 let prep = self.cache.ensure(m);
+                if let Some(tl) = &mut self.timeline {
+                    tl.graph_lookup(hit || m == 0);
+                }
                 (vec![m], prep)
             }
             MisalignStrategy::Pipe => (
@@ -164,6 +189,11 @@ impl RoutedCore {
         let (chunks, prep) = self.npu_chunks(prompt_len);
         // Graph generation (Online-prepare) delays the whole request.
         self.soc.advance(prep);
+        if prep > SimTime::ZERO {
+            if let Some(tl) = &mut self.timeline {
+                tl.graph_compile(prompt_len, start, self.soc.clock());
+            }
+        }
 
         let trace = prefill_trace(&self.cfg, prompt_len);
         self.run_routed(&trace, &chunks)?;
@@ -184,18 +214,18 @@ impl RoutedCore {
                     if shape.m == 1 {
                         // LM head (single row): a standard graph exists.
                         let k = self.npu_matmul_kernel(shape);
-                        self.run_on(Backend::Npu, &k);
+                        self.run_on(Backend::Npu, op.op, &k);
                     } else {
                         for &c in npu_chunks {
                             let k = self.npu_matmul_kernel(MatmulShape { m: c, ..shape });
-                            self.run_on(Backend::Npu, &k);
+                            self.run_on(Backend::Npu, op.op, &k);
                         }
                     }
                 }
                 OpRole::Attention | OpRole::Aux => {
                     let k = op.kernel.clone();
                     let backend = self.aux_backend;
-                    self.run_on(backend, &k);
+                    self.run_on(backend, op.op, &k);
                 }
             }
         }
@@ -218,18 +248,18 @@ impl RoutedCore {
                         match self.decode_matmul_backend {
                             Backend::Npu => {
                                 let k = self.npu_matmul_kernel(shape);
-                                self.run_on(Backend::Npu, &k);
+                                self.run_on(Backend::Npu, op.op, &k);
                             }
                             other => {
                                 let k = gpu_kernel(shape);
-                                self.run_on(other, &k);
+                                self.run_on(other, op.op, &k);
                             }
                         }
                     }
                     _ => {
                         let k = op.kernel.clone();
                         let backend = self.aux_backend;
-                        self.run_on(backend, &k);
+                        self.run_on(backend, op.op, &k);
                     }
                 }
             }
@@ -284,6 +314,14 @@ impl Engine for HeteroLayerEngine {
 
     fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
         self.core.take_concurrency_log()
+    }
+
+    fn enable_timeline(&mut self) {
+        self.core.enable_timeline();
+    }
+
+    fn take_timeline(&mut self) -> Option<Timeline> {
+        self.core.take_timeline()
     }
 
     fn soc(&self) -> &Soc {

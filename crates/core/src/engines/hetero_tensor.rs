@@ -17,6 +17,7 @@ use hetero_tensor::shape::MatmulShape;
 use crate::engines::{gpu_kernel, hetero_soc_config, npu_kernel, Engine};
 use crate::error::EngineError;
 use crate::model::ModelConfig;
+use crate::obs::{Timeline, TimelineRecorder};
 use crate::report::PhaseReport;
 use crate::trace::{decode_trace, prefill_trace, ConcurrencyLog, ConcurrencyRecorder, OpRole};
 
@@ -36,6 +37,7 @@ pub struct HeteroTensorEngine<P: CostProvider = RealExecProvider> {
     decode_table: PlanTable,
     current: Option<Backend>,
     recorder: Option<ConcurrencyRecorder>,
+    timeline: Option<TimelineRecorder>,
 }
 
 impl HeteroTensorEngine<RealExecProvider> {
@@ -176,6 +178,7 @@ impl<P: CostProvider + Clone> HeteroTensorEngine<P> {
             decode_table: PlanTable::new(),
             current: None,
             recorder: None,
+            timeline: None,
         }
     }
 }
@@ -183,11 +186,15 @@ impl<P: CostProvider + Clone> HeteroTensorEngine<P> {
 impl<P: CostProvider> HeteroTensorEngine<P> {
     fn run_on(&mut self, backend: Backend, kernel: &KernelDesc) {
         if self.current != Some(backend) {
-            if self.current.is_some() {
+            if let Some(from) = self.current {
+                let switch_start = self.soc.clock();
                 self.soc.backend_switch();
+                let mech = self.soc.config().sync.mechanism;
                 if let Some(rec) = &mut self.recorder {
-                    let mech = self.soc.config().sync.mechanism;
                     rec.switch(backend, mech, self.soc.clock());
+                }
+                if let Some(tl) = &mut self.timeline {
+                    tl.switch(from, backend, mech, switch_start, self.soc.clock());
                 }
             }
             self.current = Some(backend);
@@ -196,7 +203,11 @@ impl<P: CostProvider> HeteroTensorEngine<P> {
             let mech = self.soc.config().sync.mechanism;
             rec.serial_kernel(backend, kernel.bytes(), mech, self.soc.clock());
         }
+        let kernel_start = self.soc.clock();
         self.soc.run_serial(backend, std::slice::from_ref(kernel));
+        if let Some(tl) = &mut self.timeline {
+            tl.kernel(backend, kernel, kernel_start, self.soc.clock());
+        }
     }
 
     fn run_parallel(&mut self, gpu: &[KernelDesc], npu: &[KernelDesc], dominance: Dominance) {
@@ -206,7 +217,24 @@ impl<P: CostProvider> HeteroTensorEngine<P> {
             let npu_bytes: u64 = npu.iter().map(KernelDesc::bytes).sum();
             rec.parallel_section(gpu_bytes, npu_bytes, mech, self.soc.clock());
         }
-        self.soc.run_parallel(gpu, npu, dominance);
+        let start = self.soc.clock();
+        let outcome = self.soc.run_parallel(gpu, npu, dominance);
+        if let Some(tl) = &mut self.timeline {
+            let mech = self.soc.config().sync.mechanism;
+            let side_name = |ks: &[KernelDesc]| match ks {
+                [k] => crate::obs::timeline::kernel_span_name(k),
+                ks => format!("batch×{}", ks.len()),
+            };
+            tl.parallel_section(
+                &side_name(gpu),
+                &side_name(npu),
+                mech,
+                start,
+                start + outcome.a_finish,
+                start + outcome.b_finish,
+                self.soc.clock(),
+            );
+        }
         // Both backends just ran; the GPU ends the section primed.
         self.current = Some(Backend::Gpu);
     }
@@ -359,6 +387,14 @@ impl<P: CostProvider> Engine for HeteroTensorEngine<P> {
 
     fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
         self.recorder.take().map(ConcurrencyRecorder::finish)
+    }
+
+    fn enable_timeline(&mut self) {
+        self.timeline = Some(TimelineRecorder::new());
+    }
+
+    fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take().map(TimelineRecorder::finish)
     }
 
     fn soc(&self) -> &Soc {

@@ -91,6 +91,14 @@ impl Engine for MllmNpuEngine {
         self.core.take_concurrency_log()
     }
 
+    fn enable_timeline(&mut self) {
+        self.core.enable_timeline();
+    }
+
+    fn take_timeline(&mut self) -> Option<crate::obs::Timeline> {
+        self.core.take_timeline()
+    }
+
     fn soc(&self) -> &Soc {
         &self.core.soc
     }

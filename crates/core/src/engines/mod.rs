@@ -91,6 +91,19 @@ pub trait Engine {
         None
     }
 
+    /// Start recording a span timeline (kernel submit/complete, sync
+    /// waits, graph compiles) against the SoC's simulated clock, for
+    /// the observability layer ([`crate::obs`]). Calling again resets
+    /// any partial timeline.
+    fn enable_timeline(&mut self) {}
+
+    /// Take the timeline recorded since [`Engine::enable_timeline`],
+    /// ending recording. Returns `None` if recording was never enabled
+    /// (or is unsupported).
+    fn take_timeline(&mut self) -> Option<crate::obs::Timeline> {
+        None
+    }
+
     /// Access the simulated SoC (clock, meter, trace).
     fn soc(&self) -> &Soc;
 

@@ -69,6 +69,14 @@ impl Engine for NpuOnlyEngine {
         self.core.take_concurrency_log()
     }
 
+    fn enable_timeline(&mut self) {
+        self.core.enable_timeline();
+    }
+
+    fn take_timeline(&mut self) -> Option<crate::obs::Timeline> {
+        self.core.take_timeline()
+    }
+
     fn soc(&self) -> &Soc {
         &self.core.soc
     }

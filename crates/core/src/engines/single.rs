@@ -12,6 +12,7 @@ use hetero_soc::{calib, Backend, Soc, SocConfig};
 use crate::engines::{llama_cpp_soc_config, Engine};
 use crate::error::EngineError;
 use crate::model::ModelConfig;
+use crate::obs::{Timeline, TimelineRecorder};
 use crate::report::PhaseReport;
 use crate::trace::{decode_trace, prefill_trace, ConcurrencyLog, ConcurrencyRecorder, PhaseTrace};
 
@@ -67,6 +68,7 @@ pub struct SingleBackendEngine {
     backend: Backend,
     soc: Soc,
     recorder: Option<ConcurrencyRecorder>,
+    timeline: Option<TimelineRecorder>,
 }
 
 impl SingleBackendEngine {
@@ -80,6 +82,7 @@ impl SingleBackendEngine {
             backend: Backend::Gpu,
             soc: Soc::new(soc_cfg),
             recorder: None,
+            timeline: None,
         }
     }
 
@@ -93,6 +96,7 @@ impl SingleBackendEngine {
             backend: Backend::Cpu,
             soc,
             recorder: None,
+            timeline: None,
         }
     }
 
@@ -102,8 +106,12 @@ impl SingleBackendEngine {
             if let Some(rec) = &mut self.recorder {
                 rec.serial_kernel(self.backend, op.kernel.bytes(), mech, self.soc.clock());
             }
+            let start = self.soc.clock();
             self.soc
                 .run_serial(self.backend, std::slice::from_ref(&op.kernel));
+            if let Some(tl) = &mut self.timeline {
+                tl.kernel_named(self.backend, op.op, start, self.soc.clock());
+            }
         }
     }
 }
@@ -149,6 +157,14 @@ impl Engine for SingleBackendEngine {
 
     fn take_concurrency_log(&mut self) -> Option<ConcurrencyLog> {
         self.recorder.take().map(ConcurrencyRecorder::finish)
+    }
+
+    fn enable_timeline(&mut self) {
+        self.timeline = Some(TimelineRecorder::new());
+    }
+
+    fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take().map(TimelineRecorder::finish)
     }
 
     fn soc(&self) -> &Soc {

@@ -37,6 +37,7 @@ pub mod integrity;
 pub mod kv;
 pub mod mempool;
 pub mod model;
+pub mod obs;
 pub mod report;
 pub mod runtime;
 pub mod spec_decode;

@@ -1,0 +1,201 @@
+//! Chrome trace-event JSON export.
+//!
+//! The output loads directly in Perfetto (`ui.perfetto.dev`) or
+//! `chrome://tracing`. Encoding choices, all in service of byte
+//! stability and lintability:
+//!
+//! - Spans are `B`/`E` *duration-event pairs* (not `X` complete
+//!   events), so "every submit has a matching complete" is a real
+//!   property of the artifact that `analyze timeline` can check with
+//!   a per-track stack.
+//! - Every `ts` is an **integer count of simulated nanoseconds**. The
+//!   trace-event format nominally reads `ts` as microseconds, so one
+//!   displayed microsecond equals one simulated nanosecond — a pure
+//!   relabeling that keeps sub-microsecond sync costs visible and the
+//!   file free of floating point.
+//! - JSON is rendered by hand, one event per line, with a fixed key
+//!   order — two same-seed runs produce byte-identical files (the CI
+//!   `cmp` gate).
+//! - One process row per [`Track`] (`process_name`/`process_sort_index`
+//!   metadata), and `s`/`f` flow events with shared ids crossing
+//!   tracks at sync edges.
+
+use super::timeline::{Timeline, Track};
+
+/// Escape a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `tl` as a Chrome trace-event JSON document.
+///
+/// Metadata rows for all four tracks are always emitted (so the
+/// Perfetto layout is stable across engines), followed by each
+/// track's `B`/`E` span events in stack order, then flow events
+/// sorted by id.
+pub fn to_chrome_json(tl: &Timeline) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    for track in Track::ALL {
+        let pid = track.pid();
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            track.name()
+        ));
+        events.push(format!(
+            "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\
+             \"args\":{{\"sort_index\":{pid}}}}}"
+        ));
+    }
+
+    for track in Track::ALL {
+        let pid = track.pid();
+        // Stack-disciplined traversal: sorted parents-first; close
+        // every span whose end precedes the next span's start.
+        let mut stack: Vec<(&str, &str, u64)> = Vec::new(); // (name, cat, end)
+        let emit_end = |events: &mut Vec<String>, (name, cat, end): (&str, &str, u64)| {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{},\
+                 \"pid\":{},\"tid\":1}}",
+                escape(name),
+                cat,
+                end,
+                pid
+            ));
+        };
+        for span in tl.track_spans(track) {
+            while let Some(top) = stack.last() {
+                if top.2 <= span.start.as_nanos() {
+                    let top = stack.pop().expect("non-empty stack");
+                    emit_end(&mut events, top);
+                } else {
+                    break;
+                }
+            }
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{},\
+                 \"pid\":{},\"tid\":1}}",
+                escape(&span.name),
+                span.kind.cat(),
+                span.start.as_nanos(),
+                pid
+            ));
+            stack.push((&span.name, span.kind.cat(), span.end.as_nanos()));
+        }
+        while let Some(top) = stack.pop() {
+            emit_end(&mut events, top);
+        }
+    }
+
+    let mut flows: Vec<_> = tl.flows().iter().collect();
+    flows.sort_by_key(|f| f.id);
+    for f in flows {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"s\",\"ts\":{},\
+             \"pid\":{},\"tid\":1,\"id\":{}}}",
+            escape(&f.name),
+            f.from_time.as_nanos(),
+            f.from_track.pid(),
+            f.id
+        ));
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"ts\":{},\
+             \"pid\":{},\"tid\":1,\"id\":{}}}",
+            escape(&f.name),
+            f.to_time.as_nanos(),
+            f.to_track.pid(),
+            f.id
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::timeline::{SpanKind, Timeline, Track};
+    use super::*;
+    use hetero_soc::SimTime;
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_micros(x)
+    }
+
+    #[test]
+    fn export_parses_and_has_all_track_rows() {
+        let mut tl = Timeline::new();
+        tl.push_span(Track::Gpu, SpanKind::Kernel, "qkv", us(0), us(10));
+        let json = to_chrome_json(&tl);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v["traceEvents"].as_array().expect("array");
+        // 4 tracks × 2 metadata rows + 1 B + 1 E.
+        assert_eq!(events.len(), 10);
+        for name in ["GPU", "NPU", "CPU", "Controller"] {
+            assert!(json.contains(&format!("\"name\":\"{name}\"")), "{name} row");
+        }
+    }
+
+    #[test]
+    fn nested_spans_close_children_before_parents() {
+        let mut tl = Timeline::new();
+        tl.push_span(Track::Cpu, SpanKind::Phase, "prefill", us(0), us(100));
+        tl.push_span(Track::Cpu, SpanKind::Kernel, "inner", us(10), us(100));
+        let json = to_chrome_json(&tl);
+        let inner_e = json.find("\"name\":\"inner\",\"cat\":\"kernel\",\"ph\":\"E\"");
+        let outer_e = json.find("\"name\":\"prefill\",\"cat\":\"phase\",\"ph\":\"E\"");
+        assert!(inner_e.expect("inner E") < outer_e.expect("outer E"));
+    }
+
+    #[test]
+    fn flow_events_share_ids_across_tracks() {
+        let mut tl = Timeline::new();
+        tl.push_span(Track::Gpu, SpanKind::Kernel, "a", us(0), us(10));
+        tl.push_span(Track::Npu, SpanKind::Kernel, "b", us(10), us(20));
+        tl.push_flow("sync:fast", Track::Gpu, us(10), Track::Npu, us(10));
+        let json = to_chrome_json(&tl);
+        assert!(json.contains("\"ph\":\"s\",\"ts\":10000,\"pid\":1,\"tid\":1,\"id\":0"));
+        assert!(
+            json.contains("\"ph\":\"f\",\"bp\":\"e\",\"ts\":10000,\"pid\":2,\"tid\":1,\"id\":0")
+        );
+    }
+
+    #[test]
+    fn timestamps_are_integer_nanoseconds() {
+        let mut tl = Timeline::new();
+        tl.push_span(
+            Track::Gpu,
+            SpanKind::Kernel,
+            "a",
+            SimTime::from_nanos(1),
+            us(3),
+        );
+        let json = to_chrome_json(&tl);
+        assert!(json.contains("\"ts\":1,"), "{json}");
+        assert!(json.contains("\"ts\":3000,"), "{json}");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut tl = Timeline::new();
+        tl.push_span(Track::Gpu, SpanKind::Kernel, "a\"b\\c", us(0), us(1));
+        let json = to_chrome_json(&tl);
+        assert!(json.contains("a\\\"b\\\\c"), "{json}");
+        serde_json::from_str::<serde_json::Value>(&json).expect("still valid JSON");
+    }
+}

@@ -1,8 +1,28 @@
 //! Run reports: the metrics every experiment consumes.
+//!
+//! A [`SessionReport`] serializes deterministically: all optional
+//! sections ([`SessionReport::degradation`],
+//! [`SessionReport::integrity`], [`SessionReport::metrics`]) are
+//! skipped when absent, so a report produced by a plain
+//! [`crate::InferenceSession::run`] is byte-identical to one from
+//! before those sections existed.
+//!
+//! ```
+//! use heterollm::{EngineKind, InferenceSession, ModelConfig};
+//!
+//! let mut s = InferenceSession::new(EngineKind::HeteroTensor, &ModelConfig::internlm_1_8b());
+//! let report = s.run(64, 4);
+//! let json = serde_json::to_string(&report).unwrap();
+//! // Opt-in sections absent -> keys absent, not null.
+//! assert!(!json.contains("\"metrics\""));
+//! assert!(!json.contains("\"integrity\""));
+//! ```
 
 use hetero_soc::power::PowerReport;
 use hetero_soc::SimTime;
 use serde::{Deserialize, Serialize};
+
+use crate::obs::MetricsSnapshot;
 
 /// Outcome of one inference phase (prefill or a decode run).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -157,6 +177,15 @@ pub struct SessionReport {
     /// byte-identical to pre-integrity ones.
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub integrity: Option<IntegritySummary>,
+    /// All-integer observability metrics (counters + fixed-bucket
+    /// histograms derived from the span timeline) when the session ran
+    /// through the opt-in observed path
+    /// ([`crate::InferenceSession::run_observed`] or a runtime
+    /// controller with the timeline armed). `None` — and omitted from
+    /// the serialized form — otherwise, keeping pre-observability
+    /// golden reports byte-identical.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl SessionReport {

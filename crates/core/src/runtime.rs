@@ -44,6 +44,7 @@ use crate::engines::{hetero_soc_config, Engine, EngineKind};
 use crate::error::EngineError;
 use crate::integrity::{IntegrityCounters, IntegrityMode};
 use crate::model::ModelConfig;
+use crate::obs::{MetricsRegistry, SpanKind, Timeline as SpanTimeline, Track};
 use crate::report::{DegradationSummary, SessionReport};
 use crate::trace::ConcurrencyLog;
 
@@ -263,6 +264,11 @@ pub struct RuntimeController {
     /// Session-wide concurrency log spanning engine rebuilds
     /// (`None` = recording off).
     clog: Option<ConcurrencyLog>,
+    /// Session-wide span timeline spanning engine rebuilds (`None` =
+    /// recording off). Engine segments record against each engine's own
+    /// clock (which restarts at zero on rebuild) and are spliced in at
+    /// the request's execution start on the controller clock.
+    tl: Option<SpanTimeline>,
     /// The NPU graph store requests dispatch through; the target of
     /// persistent [`SdcFault::GraphPoison`] faults.
     graphs: GraphCache,
@@ -311,6 +317,7 @@ impl RuntimeController {
             decode_tokens: 0,
             decode_time: SimTime::ZERO,
             clog: None,
+            tl: None,
             graphs,
             sdc_pending: Vec::new(),
             icounters: IntegrityCounters::default(),
@@ -350,6 +357,26 @@ impl RuntimeController {
         if let Some(clog) = &mut self.clog {
             clog.push_marker(mechanism, at);
             self.engine.as_engine().enable_concurrency_log();
+        }
+    }
+
+    /// Arm the session-wide span timeline. Each served request arms the
+    /// active engine's recorder, so segments survive replans and
+    /// fallbacks; controller reactions appear as `Control` spans on the
+    /// [`Track::Controller`] row.
+    pub fn enable_timeline(&mut self) {
+        self.tl = Some(SpanTimeline::default());
+    }
+
+    /// Take the session-wide span timeline, ending recording.
+    pub fn take_timeline(&mut self) -> Option<SpanTimeline> {
+        self.tl.take()
+    }
+
+    /// Push a controller-track span if the timeline is armed.
+    fn push_control(&mut self, name: &str, start: SimTime, end: SimTime) {
+        if let Some(tl) = &mut self.tl {
+            tl.push_span(Track::Controller, SpanKind::Control, name, start, end);
         }
     }
 
@@ -464,6 +491,10 @@ impl RuntimeController {
                 .integrity
                 .verifies()
                 .then(|| self.icounters.summary(self.now)),
+            metrics: self
+                .tl
+                .as_ref()
+                .map(|tl| MetricsRegistry::from_timeline(tl).snapshot()),
         };
         Ok(DegradationReport {
             adaptive: self.cfg.adaptive,
@@ -483,26 +514,61 @@ impl RuntimeController {
         // shed — restoring a downgraded sync path or a fallen-back
         // backend must not wait for an admissible request.
         let mut overhead = SimTime::ZERO;
+        let pre_fallbacks = self.fallbacks;
+        let pre_replans = self.replans;
         if self.cfg.adaptive {
             overhead += self.adapt(&cond);
+        }
+        if overhead > SimTime::ZERO {
+            let name = if self.fallbacks > pre_fallbacks {
+                "fallback"
+            } else if self.replans > pre_replans {
+                "replan"
+            } else {
+                "restore"
+            };
+            self.push_control(name, start, start + overhead);
         }
         if self.cfg.adaptive && wait > self.cfg.slo.shed_wait {
             // The TTFT budget is already spent queueing: shed rather
             // than serve a guaranteed violation and deepen the backlog.
             self.shed += 1;
+            self.push_control("shed", start + overhead, start + overhead);
             self.now = start + overhead;
             return Ok(());
         }
-        overhead += self.sync_penalty(&cond);
-        overhead += self.integrity_step(start, req);
+        let sync_pen = self.sync_penalty(&cond);
+        if sync_pen > SimTime::ZERO {
+            self.push_control("sync_retry", start + overhead, start + overhead + sync_pen);
+        }
+        overhead += sync_pen;
+        let integrity = self.integrity_step(start, req);
+        if integrity > SimTime::ZERO {
+            self.push_control("integrity", start + overhead, start + overhead + integrity);
+        }
+        overhead += integrity;
 
         // Execution always experiences the disturbance, adaptive or
         // not; derates apply to the pristine base so they never stack.
+        let exec_start = start + overhead;
         let exec_cfg = cond.apply_to(&self.pristine);
+        if self.tl.is_some() {
+            self.engine.as_engine().enable_timeline();
+        }
         let engine = self.engine.as_engine();
         engine.soc_mut().set_config(exec_cfg);
+        // The engine clock keeps running across requests (and restarts
+        // at zero on rebuild); the segment is re-based onto the
+        // controller clock at this request's execution start.
+        let eng_clock0 = engine.soc().clock();
         let prefill = engine.try_prefill(req.prompt_tokens)?;
         let decode = engine.try_decode(req.prompt_tokens, req.response_tokens)?;
+        if self.tl.is_some() {
+            let seg = self.engine.as_engine().take_timeline();
+            if let (Some(tl), Some(seg)) = (&mut self.tl, seg) {
+                tl.append_shifted(&seg, eng_clock0, exec_start);
+            }
+        }
 
         let ttft = wait + overhead + prefill.elapsed;
         let tpot = decode.per_token();

@@ -11,6 +11,27 @@
 //! The log is *evidence*, not policy: `hetero-analyze`'s vector-clock
 //! race detector consumes it to prove (or refute) that all conflicting
 //! buffer accesses are ordered by a signal→wait or queue edge.
+//!
+//! ```
+//! use hetero_soc::sync::SyncMechanism;
+//! use hetero_soc::{Backend, SimTime};
+//! use heterollm::trace::{ConcurrencyOp, ConcurrencyRecorder};
+//!
+//! let mut rec = ConcurrencyRecorder::new();
+//! // A GPU kernel writes a pooled buffer and signals its flag; the
+//! // switch makes the NPU wait that flag before touching the buffer.
+//! rec.serial_kernel(Backend::Gpu, 4096, SyncMechanism::Fast, SimTime::ZERO);
+//! rec.switch(Backend::Npu, SyncMechanism::Fast, SimTime::from_micros(5));
+//! let log = rec.finish();
+//! assert!(log
+//!     .events
+//!     .iter()
+//!     .any(|e| matches!(e.op, ConcurrencyOp::Signal { .. })));
+//! assert!(log
+//!     .events
+//!     .iter()
+//!     .any(|e| matches!(e.op, ConcurrencyOp::Wait { .. })));
+//! ```
 
 use hetero_soc::sync::SyncMechanism;
 use hetero_soc::{Backend, SimTime};

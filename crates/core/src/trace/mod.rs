@@ -7,6 +7,27 @@
 //! RMSNorm/SwiGLU/RoPE/softmax/attention are the GPU-side "orange"
 //! blocks (attention operates on dynamic KV lengths, which static NPU
 //! graphs cannot express).
+//!
+//! ```
+//! use heterollm::trace::{prefill_trace, OpRole};
+//! use heterollm::ModelConfig;
+//!
+//! let trace = prefill_trace(&ModelConfig::internlm_1_8b(), 256);
+//! // Four partitionable weight Matmuls per decoder layer: qkv,
+//! // attn_out, gate_up, ffn_down.
+//! let per_layer = trace
+//!     .layer
+//!     .iter()
+//!     .filter(|op| op.role == OpRole::WeightMatmul)
+//!     .count();
+//! assert_eq!(per_layer, 4);
+//! // The full step repeats the layer once per decoder layer.
+//! assert_eq!(
+//!     trace.iter_all().count(),
+//!     trace.prologue.len() + trace.layer.len() * trace.layers + trace.epilogue.len()
+//! );
+//! assert!(trace.total_flops() > 0 && trace.total_bytes() > 0);
+//! ```
 
 pub mod concurrency;
 

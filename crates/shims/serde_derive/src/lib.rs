@@ -6,14 +6,22 @@
 //! parsed directly from the token stream. Supported shapes cover what
 //! this workspace derives: structs with named fields, tuple/newtype
 //! structs, unit structs, and enums with unit/tuple/struct variants,
-//! plus the `#[serde(with = "module")]` field attribute.
+//! plus the `#[serde(with = "module")]`,
+//! `#[serde(skip_serializing_if = "path")]`, and `#[serde(default)]`
+//! field attributes.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[derive(Clone)]
+#[derive(Clone, Default)]
 struct Field {
     name: String,
     with: Option<String>,
+    /// `skip_serializing_if = "path"`: omit the field from the map
+    /// when `path(&value)` is true.
+    skip_if: Option<String>,
+    /// `default`: on deserialize, a missing field becomes
+    /// `Default::default()` instead of an error.
+    default: bool,
 }
 
 enum VariantKind {
@@ -136,29 +144,51 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Extract `with = "module"` from a `#[serde(...)]` attribute group, if
-/// the attribute at `tokens[i]` (pointing at `#`) is one.
-fn serde_with_attr(tokens: &[TokenTree], i: usize) -> Option<String> {
-    let TokenTree::Group(g) = tokens.get(i + 1)? else {
-        return None;
+/// Apply the arguments of a `#[serde(...)]` attribute group to `field`,
+/// if the attribute at `tokens[i]` (pointing at `#`) is one. Recognizes
+/// `with = "module"`, `skip_serializing_if = "path"`, and `default`;
+/// unknown arguments are ignored.
+fn apply_serde_attr(tokens: &[TokenTree], i: usize, field: &mut Field) {
+    let Some(TokenTree::Group(g)) = tokens.get(i + 1) else {
+        return;
     };
     let inner: Vec<TokenTree> = g.stream().into_iter().collect();
     match inner.first() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return None,
+        _ => return,
     }
-    let TokenTree::Group(args) = inner.get(1)? else {
-        return None;
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return;
     };
     let args: Vec<TokenTree> = args.stream().into_iter().collect();
-    match (args.first(), args.get(1), args.get(2)) {
-        (Some(TokenTree::Ident(kw)), Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
-            if kw.to_string() == "with" && eq.as_char() == '=' =>
-        {
-            let s = lit.to_string();
-            Some(s.trim_matches('"').to_string())
+    let mut j = 0;
+    while j < args.len() {
+        let Some(TokenTree::Ident(kw)) = args.get(j) else {
+            j += 1;
+            continue;
+        };
+        let kw = kw.to_string();
+        let value = match (args.get(j + 1), args.get(j + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                j += 3;
+                Some(lit.to_string().trim_matches('"').to_string())
+            }
+            _ => {
+                j += 1;
+                None
+            }
+        };
+        match (kw.as_str(), value) {
+            ("with", Some(v)) => field.with = Some(v),
+            ("skip_serializing_if", Some(v)) => field.skip_if = Some(v),
+            ("default", None) => field.default = true,
+            _ => {}
         }
-        _ => None,
+        // Skip to just past the next top-level comma.
+        while j < args.len() && !matches!(&args[j], TokenTree::Punct(p) if p.as_char() == ',') {
+            j += 1;
+        }
+        j += 1;
     }
 }
 
@@ -167,14 +197,12 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Attributes (possibly `#[serde(with = "...")]`).
-        let mut with = None;
+        // Attributes (possibly `#[serde(...)]`).
+        let mut field = Field::default();
         loop {
             match tokens.get(i) {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    if let Some(w) = serde_with_attr(&tokens, i) {
-                        with = Some(w);
-                    }
+                    apply_serde_attr(&tokens, i, &mut field);
                     i += 2;
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -192,7 +220,8 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         let Some(TokenTree::Ident(name)) = tokens.get(i) else {
             break;
         };
-        let name = name.to_string();
+        field.name = name.to_string();
+        let name = field.name.clone();
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -212,7 +241,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             i += 1;
         }
         i += 1; // consume the comma (or run past the end)
-        fields.push(Field { name, with });
+        fields.push(field);
     }
     Ok(fields)
 }
@@ -301,10 +330,16 @@ fn named_fields_to_content(fields: &[Field], accessor: impl Fn(&str) -> String) 
             ),
             None => format!("::serde::Serialize::to_content(&{access})"),
         };
-        code.push_str(&format!(
-            "__fields.push(({:?}.to_string(), {value}));\n",
-            f.name
-        ));
+        let push = format!("__fields.push(({:?}.to_string(), {value}));", f.name);
+        match &f.skip_if {
+            Some(pred) => {
+                code.push_str(&format!("if !{pred}(&{access}) {{ {push} }}\n"));
+            }
+            None => {
+                code.push_str(&push);
+                code.push('\n');
+            }
+        }
     }
     code.push_str(&format!("{CONTENT}::Map(__fields)"));
     code
@@ -313,7 +348,18 @@ fn named_fields_to_content(fields: &[Field], accessor: impl Fn(&str) -> String) 
 fn named_fields_from_content(fields: &[Field], map_expr: &str) -> String {
     let mut inits = String::new();
     for f in fields {
-        let field_content = format!("::serde::__private::get_field({map_expr}, {:?})?", f.name);
+        // `default` fields tolerate a missing key (they may have been
+        // skipped at serialization time by `skip_serializing_if`).
+        let field_content = if f.default {
+            format!(
+                "match ::serde::__private::get_field({map_expr}, {:?}) {{ \
+                 ::std::result::Result::Ok(__c) => __c, \
+                 ::std::result::Result::Err(_) => &::serde::__private::Content::Null }}",
+                f.name
+            )
+        } else {
+            format!("::serde::__private::get_field({map_expr}, {:?})?", f.name)
+        };
         let value = match &f.with {
             Some(module) => format!(
                 "{module}::deserialize(::serde::__private::ContentSource(({field_content}).clone()))?"

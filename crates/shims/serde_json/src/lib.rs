@@ -238,10 +238,23 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    // Consume one multi-byte UTF-8 character. Validate at
+                    // most 4 bytes — validating the whole remaining input
+                    // here would make parsing quadratic in document size.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let s = match std::str::from_utf8(rest) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()]).expect("validated prefix")
+                        }
+                        Err(_) => return Err(self.err("invalid utf-8")),
+                    };
                     let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -311,6 +324,28 @@ mod tests {
         let rendered = to_string(&v).unwrap();
         let v2: Value = from_str(&rendered).unwrap();
         assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn skip_serializing_if_omits_key_and_default_restores_it() {
+        #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+        struct Opt {
+            a: u64,
+            #[serde(skip_serializing_if = "Option::is_none", default)]
+            b: Option<u64>,
+        }
+
+        let none = Opt { a: 1, b: None };
+        let json = to_string(&none).unwrap();
+        assert_eq!(json, r#"{"a":1}"#);
+        let back: Opt = from_str(&json).unwrap();
+        assert_eq!(back, none);
+
+        let some = Opt { a: 1, b: Some(2) };
+        let json = to_string(&some).unwrap();
+        assert_eq!(json, r#"{"a":1,"b":2}"#);
+        let back: Opt = from_str(&json).unwrap();
+        assert_eq!(back, some);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::des::FifoServer;
+use crate::des::{DispatchLog, FifoServer};
 use crate::time::SimTime;
 
 /// A periodic frame-rendering workload.
@@ -56,6 +56,13 @@ pub struct InterferenceReport {
     pub frames_due: u64,
     /// Frames completed by their deadline.
     pub frames_on_time: u64,
+    /// Total time submissions (frames and LLM bursts alike) spent
+    /// queued behind earlier work, from the FIFO dispatch log.
+    pub total_queue_delay: SimTime,
+    /// Largest single queue delay any submission observed.
+    pub max_queue_delay: SimTime,
+    /// Submissions that had to wait at all before service began.
+    pub queued_submissions: u64,
 }
 
 impl InterferenceReport {
@@ -91,6 +98,7 @@ pub fn simulate_from(
     let llm_solo: SimTime = bursts.iter().map(|b| b.gap_before + b.gpu_time).sum();
 
     let mut gpu = FifoServer::new();
+    let mut dispatches = DispatchLog::new();
     let mut llm_finish = SimTime::ZERO;
     let mut frames_on_time = 0u64;
 
@@ -111,13 +119,14 @@ pub fn simulate_from(
 
         if llm_pending || next_frame_arrival <= llm_finish {
             if frame_first {
-                let (_, finish) = gpu.serve(next_frame_arrival, render.frame_gpu_time);
+                let (_, finish) =
+                    gpu.serve_logged(next_frame_arrival, render.frame_gpu_time, &mut dispatches);
                 if finish <= next_frame_arrival + render.frame_interval {
                     frames_on_time += 1;
                 }
                 next_frame_arrival += render.frame_interval;
             } else if let Some(b) = next_burst {
-                let (_, finish) = gpu.serve(llm_ready, b.gpu_time);
+                let (_, finish) = gpu.serve_logged(llm_ready, b.gpu_time, &mut dispatches);
                 llm_finish = finish;
                 next_burst = burst_iter.next();
                 if let Some(nb) = next_burst {
@@ -150,6 +159,9 @@ pub fn simulate_from(
         fps,
         frames_due,
         frames_on_time: frames_on_time.min(frames_due),
+        total_queue_delay: dispatches.total_queue_delay(),
+        max_queue_delay: dispatches.max_queue_delay(),
+        queued_submissions: dispatches.queued_count() as u64,
     }
 }
 
@@ -172,6 +184,10 @@ mod tests {
             .collect();
         let r = simulate(&bursts, &RenderWorkload::game_60fps());
         assert!(r.fps < 15.0, "fps {} should collapse", r.fps);
+        // Flooding shows up in the dispatch log too: nearly every frame
+        // queued behind an LLM kernel.
+        assert!(r.queued_submissions > 50, "queued {}", r.queued_submissions);
+        assert!(r.max_queue_delay > ms(5), "max {:?}", r.max_queue_delay);
     }
 
     #[test]
