@@ -22,6 +22,11 @@
 //! - `integrity` — rewrite each solver-chosen plan's schedule with
 //!   per-submission ABFT verify nodes and check the result against the
 //!   schedule sanity, `unverified-sink`, and race rules.
+//! - `bound` — abstract-interpretation cost certification: static peak
+//!   footprint and `[lo, hi]` latency bounds per model (plus every
+//!   condition point of a seeded degraded session), checked against
+//!   the pool capacity and calibrated SLOs, and gated for soundness
+//!   against fresh DES runs (`bound-unsound` on any escape).
 //! - `timeline FILE` — lint an exported Chrome trace-event JSON file
 //!   (`--trace-out` output): spans nest per track, every submit has a
 //!   matching complete, flow arrows pair up, timestamps are integers.
@@ -36,10 +41,11 @@ use hetero_analyze::sweep::{
     race_lint_models, DEFAULT_SEQS,
 };
 use hetero_analyze::RULES;
+use hetero_analyze::{bound_lint_degraded_session, bound_lint_models, DEFAULT_POOL_BYTES};
 use hetero_soc::sync::SyncMechanism;
 use heterollm::ModelConfig;
 
-const USAGE: &str = "usage: analyze [race|explore|integrity|timeline FILE] [--json] \
+const USAGE: &str = "usage: analyze [race|explore|integrity|bound|timeline FILE] [--json] \
      [--model NAME] [--mechanism fast|driver] [--seq N,N,...] [--rules]";
 
 #[derive(PartialEq, Eq, Clone)]
@@ -48,6 +54,7 @@ enum Command {
     Race,
     Explore,
     Integrity,
+    Bound,
     Timeline(String),
 }
 
@@ -81,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
                 "race" => Command::Race,
                 "explore" => Command::Explore,
                 "integrity" => Command::Integrity,
+                "bound" => Command::Bound,
                 "timeline" => {
                     let path = it.next().ok_or("timeline needs a trace file path")?;
                     Command::Timeline(path)
@@ -220,6 +228,20 @@ fn main() -> ExitCode {
             report
         }
         Command::Integrity => integrity_lint_models(&models, &args.seqs, args.mechanism),
+        Command::Bound => {
+            // One representative prefill length (the paper's misaligned
+            // 300) unless the user narrowed --seq, like `race`.
+            let seq = if args.seqs == DEFAULT_SEQS {
+                300
+            } else {
+                args.seqs.first().copied().unwrap_or(300)
+            };
+            let mut report = bound_lint_models(&models, seq, 4, DEFAULT_POOL_BYTES);
+            for model in &models {
+                report.merge(bound_lint_degraded_session(model, 42, seq));
+            }
+            report
+        }
     };
 
     if args.json {

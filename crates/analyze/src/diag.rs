@@ -106,9 +106,18 @@ impl Report {
     }
 
     /// Fold in the findings for one checked artifact.
+    ///
+    /// Debug builds assert every finding's `rule_id` is present in the
+    /// [`crate::rules::RULES`] registry — an unregistered id means a
+    /// check site bypassed the registry with an ad-hoc string.
     pub fn extend(&mut self, findings: Vec<Diagnostic>) {
         self.summary.checked += 1;
         for d in &findings {
+            debug_assert!(
+                crate::rules::rule(&d.rule_id).is_some(),
+                "diagnostic with unregistered rule id {:?}",
+                d.rule_id
+            );
             match d.severity {
                 Severity::Deny => self.summary.deny += 1,
                 Severity::Warn => self.summary.warn += 1,
@@ -143,7 +152,7 @@ mod tests {
 
     fn diag(severity: Severity) -> Diagnostic {
         Diagnostic {
-            rule_id: "shape-conservation".into(),
+            rule_id: crate::rules::SHAPE_CONSERVATION.into(),
             severity,
             location: "test".into(),
             message: "msg".into(),

@@ -27,6 +27,11 @@
 //! | `span-nesting`       | deny | per track, submit/complete events keep stack discipline (§5) |
 //! | `submit-complete`    | deny | every submit has a matching complete on its track (§5) |
 //! | `flow-match`         | deny | every flow id pairs one start with one finish, in order (§4.2) |
+//! | `mem-overcommit`     | deny | static peak footprint (regions + KV growth) fits the pool (§4.2) |
+//! | `buffer-leak`        | deny | no region outlives its last structural reader (§4.2) |
+//! | `deadline-infeasible` | deny | static *lower* latency bound already busts the SLO (§4.3) |
+//! | `deadline-at-risk`   | warn | static *upper* latency bound busts the SLO, lower meets it (§4.3) |
+//! | `bound-unsound`      | deny | DES peak bytes and TTFT/TPOT stay inside the static bounds (§4.2, §4.3) |
 //!
 //! The trace rules ([`timeline`]) re-check exported `--trace-out`
 //! files from the outside — `analyze timeline <FILE>` parses the JSON
@@ -39,6 +44,12 @@
 //! decide happens-before ([`race`]) and a bounded exhaustive replay of
 //! legal orderings to certify output determinism ([`explore`]).
 //!
+//! The bound rules ([`bound`]) are the analyzer's cost layer: a
+//! generic join-semilattice worklist interpreter over the submission
+//! DAG propagates `[lo, hi]` cost intervals and running-peak footprint
+//! states, and every static bound is gated against the discrete-event
+//! simulator (`analyze bound` in CI).
+//!
 //! Findings are typed [`Diagnostic`]s aggregated into a [`Report`] with
 //! a stable JSON encoding (`Report::to_json`). The `analyze` binary
 //! lints solver output across the paper's model configurations and
@@ -50,6 +61,7 @@
 //! adds the rule registry, severities, locations, reporting, and the
 //! checks that need more context than a single plan.
 
+pub mod bound;
 pub mod diag;
 pub mod explore;
 pub mod fallback;
@@ -61,6 +73,10 @@ pub mod sched;
 pub mod sweep;
 pub mod timeline;
 
+pub use bound::{
+    bound_lint_degraded_session, bound_lint_models, model_bounds, schedule_completion_interval,
+    schedule_peak_bytes, solve_forward, AbstractDomain, ModelBounds, PeakBytes, DEFAULT_POOL_BYTES,
+};
 pub use diag::{Diagnostic, Report, Severity, Summary};
 pub use explore::{explore_schedule, DeterminismCertificate, ExploreConfig};
 pub use fallback::check_fallback;

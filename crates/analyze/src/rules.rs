@@ -53,6 +53,21 @@ pub const SUBMIT_COMPLETE: &str = "submit-complete";
 /// Rule: every flow id pairs exactly one start with one finish, and
 /// the finish never precedes the start.
 pub const FLOW_MATCH: &str = "flow-match";
+/// Rule: the static peak-footprint bound of a plan's region table plus
+/// KV growth must fit inside the declared memory-pool capacity.
+pub const MEM_OVERCOMMIT: &str = "mem-overcommit";
+/// Rule: no pooled region may stay live past its last structural
+/// reader in the submission DAG.
+pub const BUFFER_LEAK: &str = "buffer-leak";
+/// Rule: the static *lower* latency bound of a schedule must not
+/// already exceed the SLO deadline (such a plan is provably doomed).
+pub const DEADLINE_INFEASIBLE: &str = "deadline-infeasible";
+/// Rule: the static *upper* latency bound of a schedule exceeds the
+/// SLO deadline even though the lower bound meets it.
+pub const DEADLINE_AT_RISK: &str = "deadline-at-risk";
+/// Rule: DES-simulated peak bytes and observed TTFT/TPOT must fall
+/// inside the abstract interpreter's static bounds.
+pub const BOUND_UNSOUND: &str = "bound-unsound";
 
 /// Metadata for one registered rule.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +83,7 @@ pub struct RuleInfo {
 }
 
 /// All registered rules.
-pub const RULES: [RuleInfo; 17] = [
+pub const RULES: [RuleInfo; 22] = [
     RuleInfo {
         id: SHAPE_CONSERVATION,
         severity: Severity::Deny,
@@ -186,6 +201,41 @@ pub const RULES: [RuleInfo; 17] = [
                   finish, finish never before start",
         paper: "§4.2",
     },
+    RuleInfo {
+        id: MEM_OVERCOMMIT,
+        severity: Severity::Deny,
+        summary: "the static peak-footprint bound (region table + KV growth) \
+                  fits inside the declared memory-pool capacity",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: BUFFER_LEAK,
+        severity: Severity::Deny,
+        summary: "no pooled region stays live past its last structural reader \
+                  in the submission DAG",
+        paper: "§4.2",
+    },
+    RuleInfo {
+        id: DEADLINE_INFEASIBLE,
+        severity: Severity::Deny,
+        summary: "the static lower latency bound already exceeds the SLO \
+                  deadline: the plan is provably doomed, do not simulate it",
+        paper: "§4.3",
+    },
+    RuleInfo {
+        id: DEADLINE_AT_RISK,
+        severity: Severity::Warn,
+        summary: "the static upper latency bound exceeds the SLO deadline \
+                  while the lower bound meets it",
+        paper: "§4.3",
+    },
+    RuleInfo {
+        id: BOUND_UNSOUND,
+        severity: Severity::Deny,
+        summary: "DES-simulated peak bytes and observed TTFT/TPOT fall inside \
+                  the abstract interpreter's static bounds",
+        paper: "§4.2, §4.3",
+    },
 ];
 
 /// Look up a rule by id.
@@ -204,6 +254,46 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
+    }
+
+    #[test]
+    fn every_exported_const_is_registered() {
+        for id in [
+            SHAPE_CONSERVATION,
+            TILE_ALIGNMENT,
+            GRAPH_MEMBERSHIP,
+            PLAN_NORMALIZATION,
+            SYNC_MECHANISM,
+            SYNC_SCHEDULE,
+            MEMPOOL_ALIASING,
+            FALLBACK_INTEGRITY,
+            DATA_RACE,
+            UNSYNCHRONIZED_REUSE,
+            LOST_SIGNAL,
+            INTERLEAVING_DETERMINISM,
+            UNVERIFIED_SINK,
+            TRACE_FORMAT,
+            SPAN_NESTING,
+            SUBMIT_COMPLETE,
+            FLOW_MATCH,
+            MEM_OVERCOMMIT,
+            BUFFER_LEAK,
+            DEADLINE_INFEASIBLE,
+            DEADLINE_AT_RISK,
+            BOUND_UNSOUND,
+        ] {
+            assert!(rule(id).is_some(), "{id} missing from RULES");
+        }
+        assert_eq!(RULES.len(), 22, "registry and const list out of sync");
+    }
+
+    #[test]
+    fn bound_rule_severities() {
+        assert_eq!(rule(MEM_OVERCOMMIT).unwrap().severity, Severity::Deny);
+        assert_eq!(rule(BUFFER_LEAK).unwrap().severity, Severity::Deny);
+        assert_eq!(rule(DEADLINE_INFEASIBLE).unwrap().severity, Severity::Deny);
+        assert_eq!(rule(DEADLINE_AT_RISK).unwrap().severity, Severity::Warn);
+        assert_eq!(rule(BOUND_UNSOUND).unwrap().severity, Severity::Deny);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Golden-file test pinning the JSON encoding of the bound-certification
+//! diagnostics (`mem-overcommit`, `buffer-leak`, `deadline-infeasible`,
+//! `deadline-at-risk`, `bound-unsound`).
+//!
+//! The `analyze bound` CLI's JSON output is consumed by the CI gate;
+//! the golden file makes any change to field names, severity strings,
+//! message wording, or ordering an explicit, reviewed diff. Regenerate
+//! with `UPDATE_GOLDEN=1 cargo test -p hetero-analyze --test bound_golden`.
+
+use hetero_analyze::bound::{
+    check_deadlines, check_footprint, check_plan_regions, check_pool_replay, model_bounds,
+    replay_pool_peak,
+};
+use hetero_analyze::{rules, Report};
+use hetero_soc::SimTime;
+use hetero_solver::{PartitionPlan, RegionTable};
+use hetero_tensor::shape::MatmulShape;
+use heterollm::runtime::SloPolicy;
+use heterollm::ModelConfig;
+
+/// One deterministic finding per bound rule, aggregated in a fixed
+/// order. Bounds are computed from the real static mirror (InternLM
+/// 1.8B, the paper's smallest evaluation model) so the golden file
+/// also pins the byte layout of real numbers, not synthetic ones.
+fn diagnostics_report() -> Report {
+    let model = ModelConfig::internlm_1_8b();
+    let bounds = model_bounds(&model, 300, 4);
+    let mut report = Report::new();
+
+    // mem-overcommit: a pool one byte smaller than the certified peak.
+    report.extend(check_footprint(
+        &bounds,
+        bounds.peak_bytes - 1,
+        "golden/internlm[shrunken-pool]",
+    ));
+
+    // buffer-leak: an NPU-only region table whose input region is kept
+    // alive one step past its last structural reader.
+    let mut leaky = RegionTable::for_plan(
+        &PartitionPlan::NpuOnly { padded_m: 512 },
+        MatmulShape::new(300, 2048, 2048),
+    );
+    leaky.steps += 1;
+    leaky.regions[0].live_until += 1;
+    report.extend(check_plan_regions(&leaky, "golden/npu-only[held-input]"));
+
+    // deadline-infeasible (ttft + tpot): an SLO no plan can meet.
+    let doomed = SloPolicy {
+        ttft: SimTime::from_nanos(1),
+        tpot: SimTime::from_nanos(1),
+        streak: 3,
+        shed_wait: SimTime::from_millis(50),
+    };
+    report.extend(check_deadlines(
+        &bounds,
+        &doomed,
+        "golden/internlm[doomed-slo]",
+    ));
+
+    // deadline-at-risk: TTFT budget exactly at the lower bound — the
+    // lower bound meets it, the upper bound busts it.
+    let risky = SloPolicy {
+        ttft: bounds.ttft.lo,
+        tpot: SimTime::from_millis(500),
+        streak: 3,
+        shed_wait: SimTime::from_millis(50),
+    };
+    report.extend(check_deadlines(
+        &bounds,
+        &risky,
+        "golden/internlm[tight-slo]",
+    ));
+
+    // bound-unsound: a claimed peak below what the pool replay reaches.
+    let table = RegionTable::for_plan(&PartitionPlan::GpuOnly, MatmulShape::new(300, 2048, 2048));
+    let understated = replay_pool_peak(&table) - 1;
+    report.extend(check_pool_replay(
+        &table,
+        understated,
+        "golden/gpu-only[understated-peak]",
+    ));
+
+    report
+}
+
+#[test]
+fn bound_diagnostics_json_is_golden() {
+    let json = diagnostics_report().to_json();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/bound_diagnostics.json"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &json).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file checked in");
+    assert_eq!(
+        json, golden,
+        "diagnostic JSON encoding changed; review and regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_report_covers_every_bound_rule() {
+    let report = diagnostics_report();
+    let ids: Vec<&str> = report.findings.iter().map(|d| d.rule_id.as_str()).collect();
+    for rule in [
+        rules::MEM_OVERCOMMIT,
+        rules::BUFFER_LEAK,
+        rules::DEADLINE_INFEASIBLE,
+        rules::DEADLINE_AT_RISK,
+        rules::BOUND_UNSOUND,
+    ] {
+        assert!(ids.contains(&rule), "missing {rule}: {ids:?}");
+    }
+    assert!(!report.is_clean());
+}

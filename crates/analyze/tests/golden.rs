@@ -10,7 +10,7 @@
 use hetero_analyze::explore::{explore_schedule, ExploreConfig};
 use hetero_analyze::race::{check_log, check_schedule_races};
 use hetero_analyze::sched::check_unverified_sink;
-use hetero_analyze::{EventKind, Report, SyncEvent, SyncSchedule};
+use hetero_analyze::{rules, EventKind, Report, SyncEvent, SyncSchedule};
 use hetero_graph::partition::PartitionPlan;
 use hetero_soc::sync::SyncMechanism;
 use hetero_soc::{Backend, SimTime};
@@ -125,11 +125,11 @@ fn golden_report_covers_every_new_rule() {
     let report = diagnostics_report();
     let ids: Vec<&str> = report.findings.iter().map(|d| d.rule_id.as_str()).collect();
     for rule in [
-        "data-race",
-        "lost-signal",
-        "unsynchronized-reuse",
-        "interleaving-determinism",
-        "unverified-sink",
+        rules::DATA_RACE,
+        rules::LOST_SIGNAL,
+        rules::UNSYNCHRONIZED_REUSE,
+        rules::INTERLEAVING_DETERMINISM,
+        rules::UNVERIFIED_SINK,
     ] {
         assert!(ids.contains(&rule), "missing {rule}: {ids:?}");
     }

@@ -1,18 +1,22 @@
 //! Property-based tests of the analyzer: solver output never trips a
 //! deny-level rule, mutated plans are rejected with the *expected*
-//! rule, and `normalize` is idempotent.
+//! rule, `normalize` is idempotent, and the static cost layer is sound
+//! (simulated times and replayed pool peaks never escape the bounds).
 
+use hetero_analyze::bound::{check_footprint, replay_pool_peak};
 use hetero_analyze::{
-    check_plan_full, check_schedule_races, retry_schedule, rules, EventKind, PlanContext, Severity,
-    SyncSchedule,
+    check_plan_full, check_schedule_races, model_bounds, retry_schedule, rules,
+    schedule_peak_bytes, EventKind, PlanContext, Severity, SyncSchedule,
 };
 use hetero_graph::partition::PartitionPlan;
 use hetero_profiler::RealExecProvider;
 use hetero_soc::calib::NPU_TILE;
 use hetero_soc::sync::{Dominance, SyncMechanism};
 use hetero_soc::SocConfig;
-use hetero_solver::{Solver, SolverConfig};
+use hetero_solver::{RegionTable, Solver, SolverConfig};
 use hetero_tensor::shape::MatmulShape;
+use heterollm::engines::{hetero_soc_config, HeteroTensorEngine};
+use heterollm::{Engine, ModelConfig};
 use proptest::prelude::*;
 
 /// Rule ids of the deny-severity findings for a plan under `ctx`.
@@ -232,5 +236,90 @@ proptest! {
         let once = plan.normalize();
         prop_assert!(once.is_normalized(), "{once:?}");
         prop_assert_eq!(once.clone(), once.normalize());
+    }
+
+    /// Pool-replay soundness: for any solver-chosen plan over a random
+    /// shape, dynamically replaying the region table through the real
+    /// [`MemoryPool`] never exceeds the abstract interpreter's static
+    /// peak.
+    #[test]
+    fn replayed_pool_peak_never_escapes_static_peak(
+        m in 1usize..2200,
+        k in prop_oneof![Just(2048usize), Just(4096)],
+        n in prop_oneof![Just(2048usize), Just(4096), Just(14336)],
+        npu_dominant in proptest::bool::ANY,
+    ) {
+        let solver = Solver::new(
+            RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+            SolverConfig::default(),
+        );
+        let dominance = if npu_dominant {
+            Dominance::NpuDominant
+        } else {
+            Dominance::GpuDominant
+        };
+        let choice = solver.solve(MatmulShape::new(m, k, n), dominance);
+        let table = RegionTable::for_plan(&choice.plan, MatmulShape::new(m, k, n));
+        let static_peak = schedule_peak_bytes(&SyncSchedule::for_plan(&choice.plan), &table);
+        let replayed = replay_pool_peak(&table);
+        prop_assert!(
+            replayed <= static_peak,
+            "plan {:?}: replayed {replayed} > static {static_peak}",
+            choice.plan
+        );
+    }
+
+    /// Any pool smaller than the certified peak is always denied as
+    /// mem-overcommit — the footprint check has no blind spot.
+    #[test]
+    fn shrunken_pool_always_fires_mem_overcommit(
+        m in 1usize..600,
+        deficit in 1u64..(1 << 20),
+    ) {
+        let model = ModelConfig::internlm_1_8b();
+        let bounds = model_bounds(&model, m, 2);
+        prop_assume!(bounds.peak_bytes >= deficit);
+        let denies: Vec<String> = check_footprint(&bounds, bounds.peak_bytes - deficit, "prop")
+            .into_iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .map(|d| d.rule_id)
+            .collect();
+        prop_assert_eq!(denies, vec![rules::MEM_OVERCOMMIT.to_string()]);
+        prop_assert!(check_footprint(&bounds, bounds.peak_bytes, "prop").is_empty());
+    }
+}
+
+proptest! {
+    // Each case simulates a full engine phase pair; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DES soundness of the cost layer: for random prompt lengths and
+    /// decode budgets, a freshly simulated tensor-hybrid engine's
+    /// prefill and decode times land inside the static mirror's
+    /// `[lo, hi]` intervals.
+    #[test]
+    fn static_bounds_bracket_simulated_engine(
+        m in 1usize..600,
+        tokens in 1usize..4,
+    ) {
+        let model = ModelConfig::internlm_1_8b();
+        let bounds = model_bounds(&model, m, tokens);
+        prop_assert!(bounds.ttft.lo <= bounds.ttft.hi);
+        let mut engine =
+            HeteroTensorEngine::with_soc_config(&model, hetero_soc_config(SyncMechanism::Fast));
+        let ttft = engine.prefill(m).elapsed;
+        prop_assert!(
+            bounds.ttft.contains(ttft),
+            "ttft {ttft:?} escapes [{:?}, {:?}]",
+            bounds.ttft.lo,
+            bounds.ttft.hi
+        );
+        let decode = engine.decode(m, tokens).elapsed;
+        prop_assert!(
+            bounds.decode_total.contains(decode),
+            "decode {decode:?} escapes [{:?}, {:?}]",
+            bounds.decode_total.lo,
+            bounds.decode_total.hi
+        );
     }
 }

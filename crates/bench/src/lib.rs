@@ -22,6 +22,9 @@ use serde::Serialize;
 /// checker over the solver output for the paper's evaluation models
 /// (prefill sweep + decode, fast sync) *before* the experiment itself,
 /// and abort with a non-zero exit status on any deny-level finding.
+/// The sweep includes the abstract-interpretation bound certification:
+/// static peak footprint and `[lo, hi]` latency bounds per model,
+/// gated for soundness against fresh DES runs (`bound-unsound`).
 /// Without the flag this is a no-op, so every figure/table binary can
 /// call it unconditionally at the top of `main`.
 pub fn maybe_analyze() {
@@ -29,11 +32,17 @@ pub fn maybe_analyze() {
         return;
     }
     let models = heterollm::ModelConfig::evaluation_models();
-    let report = hetero_analyze::lint_models(
+    let mut report = hetero_analyze::lint_models(
         &models,
         &hetero_analyze::sweep::DEFAULT_SEQS,
         hetero_soc::sync::SyncMechanism::Fast,
     );
+    report.merge(hetero_analyze::bound_lint_models(
+        &models,
+        300,
+        4,
+        hetero_analyze::DEFAULT_POOL_BYTES,
+    ));
     for d in &report.findings {
         eprintln!("{d}");
     }

@@ -1,0 +1,414 @@
+//! Static pre-admission cost mirrors: sound `[lo, hi]` latency bounds
+//! and peak-footprint figures for engine executions, computed purely
+//! from SoC cost queries — no discrete-event simulation runs and no
+//! engine clock advances.
+//!
+//! The mirrors replay each engine's *scheduling policy* (the same plan
+//! tables, chunking rules and backend-switch machine the engines use)
+//! but price every step through `Soc::solo_kernel_time` /
+//! `Soc::contended_kernel_time`, which are pure `&self` queries.
+//! Soundness then reduces to the overlap model's pinned envelope: a
+//! parallel section's makespan is never below the larger per-side
+//! *solo* sum and never above the larger *contended* sum, while serial
+//! kernels, backend switches and rendezvous are exact constants. Every
+//! serial step is an exact point, so the hetero mirror's interval
+//! width comes only from parallel partitions — and collapses to an
+//! equality for the single-backend fallback mirrors, which the runtime
+//! controller uses to veto statically TTFT-infeasible fallback plans
+//! before building (let alone simulating) the fallback engine.
+
+use hetero_graph::plan::pipe_plan;
+use hetero_profiler::{CostInterval, RealExecProvider};
+use hetero_soc::calib::STANDARD_GRAPH_SIZES;
+use hetero_soc::sync::{Dominance, SyncMechanism, SyncModel};
+use hetero_soc::{Backend, KernelDesc, SimTime, Soc, SocConfig};
+use hetero_solver::{PartitionPlan, PlanTable, RegionTable, Solver, SolverConfig};
+use hetero_tensor::shape::MatmulShape;
+
+use crate::engines::{gpu_kernel, hetero_soc_config, npu_kernel};
+use crate::model::ModelConfig;
+use crate::trace::{decode_trace, prefill_trace, OpRole, PhaseTrace};
+
+/// A solved weight-Matmul site in a phase: operator name, logical
+/// shape, and the partition plan the mirror (and the engine) adopts.
+pub type PlanSite = (&'static str, MatmulShape, PartitionPlan);
+
+/// Static mirror of [`crate::engines::HeteroTensorEngine`]'s
+/// scheduling: identical solvers and plan tables, identical
+/// backend-switch machine, but all costs are priced as
+/// [`CostInterval`]s instead of being executed.
+///
+/// Because the engine's plan choice and switch sequence are
+/// deterministic functions of the model and prompt length, the
+/// mirror's interval brackets the engine's observed elapsed time for
+/// the same phase sequence.
+pub struct HeteroMirror {
+    cfg: ModelConfig,
+    /// Pricing-only SoC; its clock is never advanced.
+    soc: Soc,
+    prefill_solver: Solver<RealExecProvider>,
+    decode_solver: Solver<RealExecProvider>,
+    prefill_table: PlanTable,
+    decode_table: PlanTable,
+    current: Option<Backend>,
+}
+
+impl HeteroMirror {
+    /// Mirror of `HeteroTensorEngine::new(model, sync)`.
+    pub fn new(model: &ModelConfig, sync: SyncMechanism) -> Self {
+        Self::with_soc_config(model, hetero_soc_config(sync))
+    }
+
+    /// Mirror of an engine over an explicit SoC configuration (e.g. a
+    /// disturbance-adjusted one).
+    pub fn with_soc_config(model: &ModelConfig, soc_cfg: SocConfig) -> Self {
+        let provider = RealExecProvider::new(soc_cfg.clone());
+        // Plans are design artifacts and always assume fast sync,
+        // exactly as `HeteroTensorEngine::from_provider`.
+        let plan_sync = SyncModel::new(SyncMechanism::Fast);
+        let prefill_solver = Solver::new(
+            provider.clone(),
+            SolverConfig {
+                sync: plan_sync.clone(),
+                ..SolverConfig::default()
+            },
+        );
+        let decode_solver = Solver::new(
+            provider,
+            SolverConfig {
+                sync: plan_sync,
+                ..SolverConfig::decode(1)
+            },
+        );
+        Self {
+            cfg: model.clone(),
+            soc: Soc::new(soc_cfg),
+            prefill_solver,
+            decode_solver,
+            prefill_table: PlanTable::new(),
+            decode_table: PlanTable::new(),
+            current: None,
+        }
+    }
+
+    /// Exact cost of running `kernel` serially on `backend`, including
+    /// the backend-switch constant the engine's switch machine would
+    /// pay at this point in the sequence.
+    fn run_on_bound(&mut self, backend: Backend, kernel: &KernelDesc) -> CostInterval {
+        let mut t = SimTime::ZERO;
+        if self.current != Some(backend) {
+            if self.current.is_some() {
+                t += self.soc.config().sync.backend_switch();
+            }
+            self.current = Some(backend);
+        }
+        CostInterval::exact(t + self.soc.solo_kernel_time(backend, kernel))
+    }
+
+    /// Interval cost of a parallel section: `[max(solo sums),
+    /// max(contended sums)]` plus the exact rendezvous constant —
+    /// the pinned envelope of `Soc::run_parallel`'s overlap model.
+    fn parallel_bound(
+        &mut self,
+        gpu: &[KernelDesc],
+        npu: &[KernelDesc],
+        dominance: Dominance,
+    ) -> CostInterval {
+        let both = [Backend::Gpu, Backend::Npu];
+        let sum = |soc: &Soc, backend: Backend, ks: &[KernelDesc], contended: bool| {
+            ks.iter()
+                .map(|k| {
+                    if contended {
+                        soc.contended_kernel_time(backend, k, &both)
+                    } else {
+                        soc.solo_kernel_time(backend, k)
+                    }
+                })
+                .sum::<SimTime>()
+        };
+        let g_solo = sum(&self.soc, Backend::Gpu, gpu, false);
+        let g_cont = sum(&self.soc, Backend::Gpu, gpu, true);
+        let n_solo = sum(&self.soc, Backend::Npu, npu, false);
+        let n_cont = sum(&self.soc, Backend::Npu, npu, true);
+        let lo = g_solo.max(n_solo);
+        let hi = g_cont.max(n_cont).max(lo);
+        // Both backends just ran; the GPU ends the section primed.
+        self.current = Some(Backend::Gpu);
+        let rendezvous = self.soc.config().sync.rendezvous(dominance);
+        CostInterval { lo, hi } + CostInterval::exact(rendezvous)
+    }
+
+    /// Interval cost of one partition plan, mirroring
+    /// `HeteroTensorEngine::execute_plan` step for step.
+    fn plan_bound(
+        &mut self,
+        plan: &PartitionPlan,
+        shape: MatmulShape,
+        dominance: Dominance,
+    ) -> CostInterval {
+        match plan {
+            PartitionPlan::GpuOnly => self.run_on_bound(Backend::Gpu, &gpu_kernel(shape)),
+            PartitionPlan::NpuOnly { padded_m } => {
+                let k = npu_kernel(MatmulShape {
+                    m: *padded_m,
+                    ..shape
+                });
+                self.run_on_bound(Backend::Npu, &k)
+            }
+            PartitionPlan::NpuPipe { chunks, .. } => {
+                chunks.iter().fold(CostInterval::ZERO, |acc, &c| {
+                    let k = npu_kernel(MatmulShape { m: c, ..shape });
+                    acc + self.run_on_bound(Backend::Npu, &k)
+                })
+            }
+            PartitionPlan::RowCut { gpu_cols, padded_m }
+            | PartitionPlan::HybridCut { gpu_cols, padded_m } => {
+                let gpu = gpu_kernel(MatmulShape::new(shape.m, shape.k, *gpu_cols));
+                let npu = npu_kernel(MatmulShape::new(*padded_m, shape.k, shape.n - gpu_cols));
+                self.parallel_bound(&[gpu], &[npu], dominance)
+            }
+            PartitionPlan::SeqCut {
+                npu_chunks,
+                gpu_rows,
+            } => {
+                let npu: Vec<KernelDesc> = npu_chunks
+                    .iter()
+                    .map(|&c| npu_kernel(MatmulShape { m: c, ..shape }))
+                    .collect();
+                if *gpu_rows == 0 {
+                    npu.iter().fold(CostInterval::ZERO, |acc, k| {
+                        acc + self.run_on_bound(Backend::Npu, k)
+                    })
+                } else {
+                    let gpu = gpu_kernel(MatmulShape {
+                        m: *gpu_rows,
+                        ..shape
+                    });
+                    self.parallel_bound(&[gpu], &npu, dominance)
+                }
+            }
+        }
+    }
+
+    /// Interval over one phase trace; weight Matmuls consult the given
+    /// plan table/solver pair, everything else runs on the GPU — the
+    /// exact routing of the tensor engine's phase loops.
+    fn phase_bound(&mut self, trace: &PhaseTrace, prefill: bool) -> CostInterval {
+        let dominance = if prefill {
+            Dominance::NpuDominant
+        } else {
+            Dominance::GpuDominant
+        };
+        let ops: Vec<_> = trace.iter_all().cloned().collect();
+        let mut total = CostInterval::ZERO;
+        for op in &ops {
+            let step = match op.role {
+                OpRole::WeightMatmul => {
+                    let shape = op.shape.expect("weight matmul carries a shape");
+                    let choice = if prefill {
+                        self.prefill_table.get_or_solve(
+                            &self.prefill_solver,
+                            op.op,
+                            shape,
+                            dominance,
+                        )
+                    } else {
+                        self.decode_table
+                            .get_or_solve(&self.decode_solver, op.op, shape, dominance)
+                    };
+                    self.plan_bound(&choice.plan, shape, dominance)
+                }
+                _ => self.run_on_bound(Backend::Gpu, &op.kernel),
+            };
+            total += step;
+        }
+        total
+    }
+
+    /// Sound `[lo, hi]` bound on the engine's prefill elapsed time for
+    /// a prompt of `prompt_len` tokens, from the same switch-machine
+    /// state the engine would be in (call in the same phase order).
+    pub fn prefill_bound(&mut self, prompt_len: usize) -> CostInterval {
+        let trace = prefill_trace(&self.cfg, prompt_len);
+        self.phase_bound(&trace, true)
+    }
+
+    /// Sound `[lo, hi]` bound on decoding `n_tokens` tokens after a
+    /// prompt of `prompt_len`.
+    pub fn decode_bound(&mut self, prompt_len: usize, n_tokens: usize) -> CostInterval {
+        let mut total = CostInterval::ZERO;
+        for t in 0..n_tokens {
+            let trace = decode_trace(&self.cfg, prompt_len + t + 1, 1);
+            total += self.phase_bound(&trace, false);
+        }
+        total
+    }
+
+    /// The weight-Matmul plan sites of a prefill at `prompt_len`, in
+    /// trace order — what the footprint analyzer folds region tables
+    /// over.
+    pub fn prefill_plans(&mut self, prompt_len: usize) -> Vec<PlanSite> {
+        let trace = prefill_trace(&self.cfg, prompt_len);
+        let ops: Vec<_> = trace.iter_all().cloned().collect();
+        ops.iter()
+            .filter(|op| op.role == OpRole::WeightMatmul)
+            .map(|op| {
+                let shape = op.shape.expect("weight matmul carries a shape");
+                let choice = self.prefill_table.get_or_solve(
+                    &self.prefill_solver,
+                    op.op,
+                    shape,
+                    Dominance::NpuDominant,
+                );
+                (op.op, shape, choice.plan)
+            })
+            .collect()
+    }
+
+    /// Static peak pooled activation footprint of a prefill at
+    /// `prompt_len`: the max over plan sites of the site's
+    /// [`RegionTable`] peak. Plan arenas are transient and disjoint in
+    /// time (one logical Matmul in flight at once), so the phase peak
+    /// is the per-site max, not the sum.
+    pub fn prefill_peak_bytes(&mut self, prompt_len: usize) -> usize {
+        self.prefill_plans(prompt_len)
+            .iter()
+            .map(|(_, shape, plan)| RegionTable::for_plan(plan, *shape).peak_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Exact prefill latency of the GPU-only (PPL-OpenCL tier) fallback
+/// engine under `soc_cfg`: the single-backend engine runs every trace
+/// kernel serially on the GPU with no switch machine, so the mirror is
+/// a plain sum of solo kernel times.
+pub fn gpu_only_prefill(model: &ModelConfig, soc_cfg: &SocConfig, prompt_len: usize) -> SimTime {
+    let soc = Soc::new(soc_cfg.clone());
+    prefill_trace(model, prompt_len)
+        .iter_all()
+        .map(|op| soc.solo_kernel_time(Backend::Gpu, &op.kernel))
+        .sum()
+}
+
+/// Exact prefill latency of the NPU-pipe fallback engine under
+/// `soc_cfg`: weight Matmuls decompose into standard-size pipe chunks
+/// on the NPU, aux/attention kernels run on the GPU, with the routed
+/// core's switch machine (starting unprimed) paying one backend-switch
+/// constant per transition.
+pub fn npu_pipe_prefill(model: &ModelConfig, soc_cfg: &SocConfig, prompt_len: usize) -> SimTime {
+    let soc = Soc::new(soc_cfg.clone());
+    let switch = soc.config().sync.backend_switch();
+    let chunks = pipe_plan(prompt_len, &STANDARD_GRAPH_SIZES).npu_chunks;
+    let mut current: Option<Backend> = None;
+    let mut total = SimTime::ZERO;
+    let mut run = |backend: Backend, kernel: &KernelDesc, total: &mut SimTime| {
+        if current != Some(backend) {
+            if current.is_some() {
+                *total += switch;
+            }
+            current = Some(backend);
+        }
+        *total += soc.solo_kernel_time(backend, kernel);
+    };
+    for op in prefill_trace(model, prompt_len).iter_all() {
+        match op.role {
+            OpRole::WeightMatmul => {
+                let shape = op.shape.expect("weight matmul carries a shape");
+                if shape.m == 1 {
+                    run(Backend::Npu, &npu_kernel(shape), &mut total);
+                } else {
+                    for &c in &chunks {
+                        run(
+                            Backend::Npu,
+                            &npu_kernel(MatmulShape { m: c, ..shape }),
+                            &mut total,
+                        );
+                    }
+                }
+            }
+            OpRole::Attention | OpRole::Aux => run(Backend::Gpu, &op.kernel, &mut total),
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::npu_only::{MisalignStrategy, NpuOnlyEngine};
+    use crate::engines::single::{GpuTier, SingleBackendEngine};
+    use crate::engines::{Engine, HeteroTensorEngine};
+
+    #[test]
+    fn hetero_mirror_brackets_engine_prefill_and_decode() {
+        let model = ModelConfig::llama_3b();
+        let mut mirror = HeteroMirror::new(&model, SyncMechanism::Fast);
+        let mut engine = HeteroTensorEngine::new(&model, SyncMechanism::Fast);
+        for len in [135usize, 300] {
+            let bound = mirror.prefill_bound(len);
+            let observed = engine.prefill(len).elapsed;
+            assert!(
+                bound.contains(observed),
+                "len {len}: observed {observed} outside [{}, {}]",
+                bound.lo,
+                bound.hi
+            );
+        }
+        let bound = mirror.decode_bound(300, 4);
+        let observed = engine.decode(300, 4).elapsed;
+        assert!(
+            bound.contains(observed),
+            "decode observed {observed} outside [{}, {}]",
+            bound.lo,
+            bound.hi
+        );
+    }
+
+    #[test]
+    fn gpu_only_mirror_is_exact() {
+        let model = ModelConfig::llama_3b();
+        // The PPL fallback engine's SoC config is hetero_soc_config
+        // modulo the sync model, which a single-backend engine never
+        // consults.
+        let cfg = hetero_soc_config(SyncMechanism::Fast);
+        let bound = gpu_only_prefill(&model, &cfg, 300);
+        let mut e = SingleBackendEngine::gpu(&model, GpuTier::PplOpenCl);
+        assert_eq!(bound, e.prefill(300).elapsed);
+    }
+
+    #[test]
+    fn npu_pipe_mirror_is_exact() {
+        let model = ModelConfig::llama_3b();
+        let cfg = hetero_soc_config(SyncMechanism::Fast);
+        let bound = npu_pipe_prefill(&model, &cfg, 300);
+        let mut e = NpuOnlyEngine::new(&model, MisalignStrategy::Pipe, SyncMechanism::Fast);
+        assert_eq!(bound, e.prefill(300).elapsed);
+    }
+
+    #[test]
+    fn prefill_peak_covers_every_site_table() {
+        let model = ModelConfig::llama_3b();
+        let mut mirror = HeteroMirror::new(&model, SyncMechanism::Fast);
+        let peak = mirror.prefill_peak_bytes(300);
+        assert!(peak > 0);
+        for (op, shape, plan) in mirror.prefill_plans(300) {
+            let site = RegionTable::for_plan(&plan, shape).peak_bytes();
+            assert!(
+                site <= peak,
+                "{op}: site peak {site} above phase peak {peak}"
+            );
+        }
+    }
+
+    #[test]
+    fn derated_soc_inflates_the_bound() {
+        let model = ModelConfig::llama_3b();
+        let quiet = HeteroMirror::new(&model, SyncMechanism::Fast).prefill_bound(256);
+        let mut slow_cfg = hetero_soc_config(SyncMechanism::Fast);
+        slow_cfg.gpu.achieved_tflops *= 0.5;
+        slow_cfg.gpu.mem_efficiency *= 0.5;
+        let slow = HeteroMirror::with_soc_config(&model, slow_cfg).prefill_bound(256);
+        assert!(slow.hi > quiet.hi, "slow {} vs quiet {}", slow.hi, quiet.hi);
+    }
+}

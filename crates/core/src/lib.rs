@@ -27,6 +27,7 @@
 //! scaled-down configs so correctness — including the numerical
 //! equivalence of every partition strategy — is testable.
 
+pub mod admit;
 pub mod api;
 pub mod coldstart;
 pub mod engines;

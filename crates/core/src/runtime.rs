@@ -140,6 +140,12 @@ pub struct ControllerConfig {
     /// Data-integrity layer mode; `Off` preserves the pre-integrity
     /// controller behavior exactly.
     pub integrity: IntegrityMode,
+    /// Whether backend-fallback choices are vetted against the static
+    /// pre-admission bound ([`crate::admit`]): a fallback whose
+    /// *lower-bound* prefill latency at [`MAX_PROMPT`] already busts
+    /// the TTFT budget is rejected in favor of a statically feasible
+    /// alternative, without building or simulating either engine.
+    pub bound_precheck: bool,
 }
 
 impl ControllerConfig {
@@ -152,6 +158,7 @@ impl ControllerConfig {
             retry_backoff: SimTime::from_micros(500),
             replan_overhead: SimTime::from_millis(5),
             integrity: IntegrityMode::Off,
+            bound_precheck: false,
         }
     }
 
@@ -168,6 +175,15 @@ impl ControllerConfig {
     pub fn with_integrity(self, mode: IntegrityMode) -> Self {
         Self {
             integrity: mode,
+            ..self
+        }
+    }
+
+    /// Same configuration with the static fallback pre-check enabled.
+    #[must_use]
+    pub fn with_bound_precheck(self) -> Self {
+        Self {
+            bound_precheck: true,
             ..self
         }
     }
@@ -280,6 +296,9 @@ pub struct RuntimeController {
     /// single-backend fallback (a stuck corruption source is treated
     /// like a failing backend).
     corruption_streak: usize,
+    /// Fallback candidates rejected by the static pre-admission bound
+    /// (not serialized — an in-process observability counter).
+    bound_rejections: usize,
 }
 
 impl RuntimeController {
@@ -322,7 +341,13 @@ impl RuntimeController {
             sdc_pending: Vec::new(),
             icounters: IntegrityCounters::default(),
             corruption_streak: 0,
+            bound_rejections: 0,
         }
+    }
+
+    /// Fallback candidates the static pre-admission bound rejected.
+    pub fn bound_rejections(&self) -> usize {
+        self.bound_rejections
     }
 
     /// Start recording a session-wide concurrency event log. Each
@@ -739,6 +764,53 @@ impl RuntimeController {
         overhead
     }
 
+    /// The single-backend fallback the controller would adopt for
+    /// `cond`: the healthy backend by efficiency, optionally vetoed by
+    /// the static pre-admission bound.
+    ///
+    /// With [`ControllerConfig::bound_precheck`] enabled, each
+    /// candidate's *exact* prefill floor at [`MAX_PROMPT`] (the
+    /// single-backend mirrors of [`crate::admit`] — pure cost
+    /// arithmetic, no engine build, no simulation) is compared against
+    /// the TTFT budget: a preferred candidate that cannot meet the
+    /// budget even in the best case is swapped for the alternative when
+    /// the alternative can. If both are statically infeasible the
+    /// healthy-backend preference stands (degraded service beats no
+    /// service).
+    pub fn fallback_decision(&mut self, cond: &SocCondition) -> (EngineKind, PartitionPlan) {
+        let npu_eff = cond.npu_derate * cond.thermal_factor;
+        let gpu_eff = cond.gpu_derate * cond.thermal_factor;
+        let gpu_side = (EngineKind::PplOpenCl, PartitionPlan::GpuOnly);
+        let npu_side = (
+            EngineKind::NpuPipe,
+            PartitionPlan::NpuOnly { padded_m: 256 },
+        );
+        let prefer_gpu = npu_eff <= gpu_eff;
+        let (preferred, alternative) = if prefer_gpu {
+            (gpu_side, npu_side)
+        } else {
+            (npu_side, gpu_side)
+        };
+        if !self.cfg.bound_precheck {
+            return preferred;
+        }
+        let exec_cfg = cond.apply_to(&hetero_soc_config(self.sync));
+        let floor = |kind: EngineKind| match kind {
+            EngineKind::PplOpenCl => {
+                crate::admit::gpu_only_prefill(&self.model, &exec_cfg, MAX_PROMPT)
+            }
+            _ => crate::admit::npu_pipe_prefill(&self.model, &exec_cfg, MAX_PROMPT),
+        };
+        if floor(preferred.0) <= self.cfg.slo.ttft {
+            return preferred;
+        }
+        if floor(alternative.0) <= self.cfg.slo.ttft {
+            self.bound_rejections += 1;
+            return alternative;
+        }
+        preferred
+    }
+
     /// Apply the adaptive reaction policy for the condition at this
     /// request's start; returns the reaction overhead charged.
     fn adapt(&mut self, cond: &SocCondition) -> SimTime {
@@ -760,15 +832,9 @@ impl RuntimeController {
         let watchdog = self.slow_streak >= self.cfg.slo.streak;
         match &self.engine {
             ActiveEngine::Primary(_) if severe || watchdog => {
-                // Backend fallback: run on the healthy backend alone.
-                let (kind, plan) = if npu_eff <= gpu_eff {
-                    (EngineKind::PplOpenCl, PartitionPlan::GpuOnly)
-                } else {
-                    (
-                        EngineKind::NpuPipe,
-                        PartitionPlan::NpuOnly { padded_m: 256 },
-                    )
-                };
+                // Backend fallback: run on the healthy backend alone,
+                // subject to the static pre-admission veto.
+                let (kind, plan) = self.fallback_decision(cond);
                 self.harvest_concurrency_log();
                 self.energy_j += self.engine.as_engine().finish().energy_j;
                 let engine = kind.build(&self.model, self.sync);
@@ -1104,6 +1170,67 @@ mod tests {
         assert_eq!(c.icounters.fallback_escalations, 1);
         assert_eq!(c.slow_streak, c.cfg.slo.streak, "watchdog armed");
         assert_eq!(c.corruption_streak, 0, "streak resets after escalating");
+    }
+
+    #[test]
+    fn bound_precheck_rejects_infeasible_fallback_without_simulation() {
+        let model = ModelConfig::internlm_1_8b();
+        let slo = SloPolicy::calibrated(&model);
+        // Tie on efficiency → the controller prefers the GPU-only
+        // fallback; but PPL-quality GPU prefill is ~4x the tensor
+        // engine's, so its *exact* static floor at MAX_PROMPT busts
+        // the 3x-quiet TTFT budget, while the NPU-pipe floor fits.
+        let cond = SocCondition::quiet();
+        let cfg_base = hetero_soc_config(SyncMechanism::Fast);
+        let exec_cfg = cond.apply_to(&cfg_base);
+        let gpu_floor = crate::admit::gpu_only_prefill(&model, &exec_cfg, MAX_PROMPT);
+        let npu_floor = crate::admit::npu_pipe_prefill(&model, &exec_cfg, MAX_PROMPT);
+        assert!(
+            gpu_floor > slo.ttft,
+            "gpu floor {gpu_floor} vs ttft {:?}",
+            slo.ttft
+        );
+        assert!(
+            npu_floor <= slo.ttft,
+            "npu floor {npu_floor} vs ttft {:?}",
+            slo.ttft
+        );
+
+        // Without the pre-check: healthy-backend preference stands.
+        let mut plain = RuntimeController::new(&model, ControllerConfig::adaptive(slo));
+        assert_eq!(plain.fallback_decision(&cond).0, EngineKind::PplOpenCl);
+        assert_eq!(plain.bound_rejections(), 0);
+
+        // With the pre-check: the infeasible candidate is rejected by
+        // static arithmetic alone — no fallback engine is built and no
+        // request is simulated.
+        let mut checked = RuntimeController::new(
+            &model,
+            ControllerConfig::adaptive(slo).with_bound_precheck(),
+        );
+        let (kind, plan) = checked.fallback_decision(&cond);
+        assert_eq!(kind, EngineKind::NpuPipe);
+        assert_eq!(plan, PartitionPlan::NpuOnly { padded_m: 256 });
+        assert_eq!(checked.bound_rejections(), 1);
+    }
+
+    #[test]
+    fn bound_precheck_keeps_feasible_preference() {
+        let model = ModelConfig::internlm_1_8b();
+        let slo = SloPolicy::calibrated(&model);
+        let mut c = RuntimeController::new(
+            &model,
+            ControllerConfig::adaptive(slo).with_bound_precheck(),
+        );
+        // GPU saturated by rendering: the NPU side is preferred and its
+        // static floor fits the budget — no veto, no counter bump.
+        let cond = SocCondition {
+            gpu_derate: 0.1,
+            ..SocCondition::quiet()
+        };
+        let (kind, _) = c.fallback_decision(&cond);
+        assert_eq!(kind, EngineKind::NpuPipe);
+        assert_eq!(c.bound_rejections(), 0);
     }
 
     #[test]

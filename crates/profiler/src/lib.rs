@@ -24,5 +24,7 @@ pub mod tree;
 
 pub use db::{ProfileDb, ProfileKey};
 pub use forest::RandomForest;
-pub use predict::{AnalyticGpuPredictor, CostProvider, PredictedProvider, RealExecProvider};
+pub use predict::{
+    AnalyticGpuPredictor, CostInterval, CostProvider, PredictedProvider, RealExecProvider,
+};
 pub use tree::DecisionTree;

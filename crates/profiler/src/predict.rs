@@ -8,6 +8,71 @@ use hetero_tensor::DType;
 use crate::db::{BwCondition, ProfileDb};
 use crate::tree::{DecisionTree, TreeParams};
 
+/// A closed `[lo, hi]` interval of kernel cost, in integer nanoseconds.
+///
+/// The interval brackets a kernel's execution time across every
+/// bandwidth condition the schedule could experience: `lo` is the cost
+/// with the memory system to itself ([`BwCondition::Solo`]), `hi` the
+/// cost with both accelerators streaming ([`BwCondition::Contended`]).
+/// The static bound checker propagates these through the submission
+/// DAG (`hetero_analyze::bound`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostInterval {
+    /// Fastest achievable cost (uncontended memory system).
+    pub lo: SimTime,
+    /// Slowest cost (full GPU+NPU bandwidth contention).
+    pub hi: SimTime,
+}
+
+impl CostInterval {
+    /// A degenerate point interval (an exactly known cost).
+    pub fn exact(t: SimTime) -> Self {
+        Self { lo: t, hi: t }
+    }
+
+    /// The zero interval.
+    pub const ZERO: CostInterval = CostInterval {
+        lo: SimTime::ZERO,
+        hi: SimTime::ZERO,
+    };
+
+    /// Pointwise maximum (parallel join: both sides must finish).
+    pub fn join_max(self, rhs: CostInterval) -> Self {
+        Self {
+            lo: self.lo.max(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+        }
+    }
+
+    /// Whether an observed time falls inside the interval.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.lo <= t && t <= self.hi
+    }
+
+    /// Whether the interval is well-formed (`lo <= hi`).
+    pub fn is_valid(&self) -> bool {
+        self.lo <= self.hi
+    }
+}
+
+/// Interval addition (sequential composition).
+impl std::ops::Add for CostInterval {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CostInterval {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
 /// A source of matmul kernel costs per backend and bandwidth condition.
 pub trait CostProvider {
     /// Cost of `[m,k] x [k,n]` on `backend` where the streamed `[m,k]`
@@ -23,6 +88,29 @@ pub trait CostProvider {
         weight_dtype: DType,
         condition: BwCondition,
     ) -> SimTime;
+
+    /// Sound `[lo, hi]` cost interval for the kernel across bandwidth
+    /// conditions: `lo` from the solo query, `hi` from the contended
+    /// one (clamped so `hi >= lo` even if a provider mis-orders them).
+    fn matmul_cost_interval(
+        &self,
+        backend: Backend,
+        shape: MatmulShape,
+        act_dtype: DType,
+        weight_dtype: DType,
+    ) -> CostInterval {
+        let lo = self.matmul_cost(backend, shape, act_dtype, weight_dtype, BwCondition::Solo);
+        let hi = self
+            .matmul_cost(
+                backend,
+                shape,
+                act_dtype,
+                weight_dtype,
+                BwCondition::Contended,
+            )
+            .max(lo);
+        CostInterval { lo, hi }
+    }
 }
 
 /// Real-execution provider: queries the hardware (simulator) directly.
@@ -284,6 +372,35 @@ mod tests {
             DType::Int4,
         );
         assert!(PredictedProvider::train(&db, cfg()).is_none());
+    }
+
+    #[test]
+    fn cost_interval_brackets_both_conditions() {
+        let p = RealExecProvider::new(cfg());
+        let shape = MatmulShape::new(256, 4096, 4096);
+        let iv = p.matmul_cost_interval(Backend::Npu, shape, DType::Int4, DType::F16);
+        assert!(iv.is_valid());
+        let solo = p.matmul_cost(
+            Backend::Npu,
+            shape,
+            DType::Int4,
+            DType::F16,
+            BwCondition::Solo,
+        );
+        let cont = p.matmul_cost(
+            Backend::Npu,
+            shape,
+            DType::Int4,
+            DType::F16,
+            BwCondition::Contended,
+        );
+        assert!(iv.contains(solo));
+        assert!(iv.contains(cont));
+        // Interval arithmetic sanity.
+        let sum = iv + CostInterval::exact(SimTime::from_micros(1));
+        assert_eq!(sum.lo, iv.lo + SimTime::from_micros(1));
+        let j = iv.join_max(CostInterval::ZERO);
+        assert_eq!(j, iv);
     }
 
     #[test]

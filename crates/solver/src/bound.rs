@@ -1,0 +1,276 @@
+//! Static `[lo, hi]` cost intervals for partition plans.
+//!
+//! The solver's `solve` picks a plan by *estimating* its latency; this
+//! module exposes the same cost arithmetic as a sound interval per
+//! plan, aligned with the plan's sync-schedule event layout so the
+//! abstract interpreter in `hetero-analyze` can propagate the
+//! intervals through the submission DAG.
+//!
+//! Soundness argument (matched against `hetero_soc::Soc`):
+//!
+//! - Serial plans (`GpuOnly`, `NpuOnly`, `NpuPipe`, degenerate
+//!   `SeqCut`) execute via `run_serial`, which charges exactly the
+//!   solo kernel time — their intervals are exact points.
+//! - Parallel plans execute via `run_parallel`, whose overlap model
+//!   runs both sides contended until the shorter finishes and re-prices
+//!   the remainder solo. The makespan is therefore never below the
+//!   larger *solo* duration and never above the larger *contended*
+//!   duration (pinned by `hetero-soc`'s
+//!   `contended_time_never_faster_than_solo` and the overlap tests) —
+//!   exactly the `[max(lo), max(hi)]` interval this module returns.
+//! - Rendezvous and backend-switch costs are fixed constants of the
+//!   sync model, unaffected by bandwidth conditions: exact points.
+
+use hetero_profiler::db::BwCondition;
+use hetero_profiler::{CostInterval, CostProvider};
+use hetero_soc::sync::Dominance;
+use hetero_tensor::shape::MatmulShape;
+
+use crate::plan::PartitionPlan;
+use crate::solver::Solver;
+
+impl<P: CostProvider> Solver<P> {
+    /// Interval cost of one NPU chunk of `shape`'s problem at `m`
+    /// rows: `[solo, contended]` under the solver's operand-permutation
+    /// convention.
+    fn npu_interval(&self, m: usize, shape: MatmulShape) -> CostInterval {
+        let s = MatmulShape { m, ..shape };
+        let lo = self.npu_cost(s, BwCondition::Solo);
+        let hi = self.npu_cost(s, BwCondition::Contended).max(lo);
+        CostInterval { lo, hi }
+    }
+
+    /// Interval cost of a GPU sub-problem.
+    fn gpu_interval(&self, s: MatmulShape) -> CostInterval {
+        let lo = self.gpu_cost(s, BwCondition::Solo);
+        let hi = self.gpu_cost(s, BwCondition::Contended).max(lo);
+        CostInterval { lo, hi }
+    }
+
+    /// Per-event cost intervals for `plan`, in the exact order of
+    /// `SyncSchedule::for_plan`'s event layout:
+    ///
+    /// | plan | events |
+    /// |---|---|
+    /// | `GpuOnly` | `[gpu submit]` |
+    /// | `NpuOnly` | `[npu submit, switch]` |
+    /// | `NpuPipe` / `SeqCut{gpu_rows: 0}` | `[npu submit…, switch]` |
+    /// | `RowCut` / `HybridCut` | `[gpu submit, npu submit, rendezvous]` |
+    /// | `SeqCut{gpu_rows > 0}` | `[gpu submit, npu submit…, rendezvous]` |
+    ///
+    /// Serial plans run each side solo (exact points); parallel plans
+    /// carry `[solo, contended]` compute intervals with an exact
+    /// rendezvous constant.
+    pub fn event_cost_intervals(
+        &self,
+        plan: &PartitionPlan,
+        shape: MatmulShape,
+        dominance: Dominance,
+    ) -> Vec<CostInterval> {
+        let cfg = self.config();
+        let switch = CostInterval::exact(cfg.sync.backend_switch());
+        let rendezvous = CostInterval::exact(cfg.sync.rendezvous(dominance));
+        match plan {
+            PartitionPlan::GpuOnly => {
+                vec![CostInterval::exact(self.gpu_cost(shape, BwCondition::Solo))]
+            }
+            PartitionPlan::NpuOnly { padded_m } => {
+                let s = MatmulShape {
+                    m: *padded_m,
+                    ..shape
+                };
+                vec![
+                    CostInterval::exact(self.npu_cost(s, BwCondition::Solo)),
+                    switch,
+                ]
+            }
+            PartitionPlan::NpuPipe { chunks, .. } => {
+                let mut out: Vec<CostInterval> = chunks
+                    .iter()
+                    .map(|&c| {
+                        let s = MatmulShape { m: c, ..shape };
+                        CostInterval::exact(self.npu_cost(s, BwCondition::Solo))
+                    })
+                    .collect();
+                out.push(switch);
+                out
+            }
+            PartitionPlan::RowCut { gpu_cols, padded_m }
+            | PartitionPlan::HybridCut { padded_m, gpu_cols } => {
+                vec![
+                    self.gpu_interval(MatmulShape::new(shape.m, shape.k, *gpu_cols)),
+                    self.npu_interval(
+                        *padded_m,
+                        MatmulShape::new(shape.m, shape.k, shape.n - gpu_cols),
+                    ),
+                    rendezvous,
+                ]
+            }
+            PartitionPlan::SeqCut {
+                npu_chunks,
+                gpu_rows,
+            } => {
+                if *gpu_rows == 0 {
+                    let mut out: Vec<CostInterval> = npu_chunks
+                        .iter()
+                        .map(|&c| {
+                            let s = MatmulShape { m: c, ..shape };
+                            CostInterval::exact(self.npu_cost(s, BwCondition::Solo))
+                        })
+                        .collect();
+                    out.push(switch);
+                    return out;
+                }
+                let mut out = vec![self.gpu_interval(MatmulShape {
+                    m: *gpu_rows,
+                    ..shape
+                })];
+                out.extend(npu_chunks.iter().map(|&c| self.npu_interval(c, shape)));
+                out.push(rendezvous);
+                out
+            }
+        }
+    }
+
+    /// Closed-form completion-time interval of `plan`: serial plans sum
+    /// their events; parallel plans take the pointwise max of the GPU
+    /// side against the summed NPU side, plus the rendezvous constant.
+    ///
+    /// For parallel plans, `hi` equals the estimate `solve` would
+    /// assign the plan (contended max + rendezvous), and serial
+    /// intervals are the exact estimate — so the bound degrades to the
+    /// solver's objective when the interval collapses.
+    pub fn plan_cost_interval(
+        &self,
+        plan: &PartitionPlan,
+        shape: MatmulShape,
+        dominance: Dominance,
+    ) -> CostInterval {
+        let events = self.event_cost_intervals(plan, shape, dominance);
+        match plan {
+            PartitionPlan::GpuOnly
+            | PartitionPlan::NpuOnly { .. }
+            | PartitionPlan::NpuPipe { .. } => {
+                events.into_iter().fold(CostInterval::ZERO, |a, b| a + b)
+            }
+            PartitionPlan::SeqCut { gpu_rows: 0, .. } => {
+                events.into_iter().fold(CostInterval::ZERO, |a, b| a + b)
+            }
+            PartitionPlan::RowCut { .. } | PartitionPlan::HybridCut { .. } => {
+                let gpu = events[0];
+                let npu = events[1];
+                gpu.join_max(npu) + events[2]
+            }
+            PartitionPlan::SeqCut { .. } => {
+                let gpu = events[0];
+                let npu = events[1..events.len() - 1]
+                    .iter()
+                    .fold(CostInterval::ZERO, |a, &b| a + b);
+                gpu.join_max(npu) + events[events.len() - 1]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverConfig;
+    use hetero_profiler::RealExecProvider;
+    use hetero_soc::SocConfig;
+
+    fn solver() -> Solver<RealExecProvider> {
+        Solver::new(
+            RealExecProvider::new(SocConfig::snapdragon_8gen3()),
+            SolverConfig::default(),
+        )
+    }
+
+    #[test]
+    fn serial_plan_interval_is_exact_and_matches_estimate() {
+        let s = solver();
+        let shape = MatmulShape::new(256, 4096, 4096);
+        let plan = PartitionPlan::NpuOnly { padded_m: 256 };
+        let iv = s.plan_cost_interval(&plan, shape, Dominance::NpuDominant);
+        assert_eq!(iv.lo, iv.hi, "serial plans are exact points");
+        let est = s.npu_cost(shape, BwCondition::Solo) + s.config().sync.backend_switch();
+        assert_eq!(iv.hi, est);
+    }
+
+    #[test]
+    fn parallel_plan_hi_matches_solver_estimate() {
+        let s = solver();
+        let shape = MatmulShape::new(256, 14336, 4096);
+        let plan = PartitionPlan::HybridCut {
+            padded_m: 256,
+            gpu_cols: 1024,
+        };
+        let iv = s.plan_cost_interval(&plan, shape, Dominance::NpuDominant);
+        assert!(iv.is_valid());
+        // The solver prices a hybrid cut as max(contended sides) + sync;
+        // the interval's upper bound must reproduce that estimate.
+        let npu = s.npu_cost(
+            MatmulShape::new(256, shape.k, shape.n - 1024),
+            BwCondition::Contended,
+        );
+        let gpu = s.gpu_cost(
+            MatmulShape::new(shape.m, shape.k, 1024),
+            BwCondition::Contended,
+        );
+        let est = npu.max(gpu) + s.config().sync.rendezvous(Dominance::NpuDominant);
+        assert_eq!(iv.hi, est);
+        assert!(iv.lo <= iv.hi);
+    }
+
+    #[test]
+    fn chosen_plan_estimate_always_inside_interval() {
+        let s = solver();
+        for m in [1usize, 64, 135, 300, 512, 1024, 2100] {
+            let shape = MatmulShape::new(m, 4096, 4096);
+            let choice = s.solve(shape, Dominance::NpuDominant);
+            let iv = s.plan_cost_interval(&choice.plan, shape, Dominance::NpuDominant);
+            assert!(
+                iv.contains(choice.est_time),
+                "m={m}: est {} outside [{}, {}]",
+                choice.est_time,
+                iv.lo,
+                iv.hi
+            );
+        }
+    }
+
+    #[test]
+    fn event_layout_matches_schedule_shape() {
+        let s = solver();
+        let shape = MatmulShape::new(300, 4096, 4096);
+        for (plan, expect) in [
+            (PartitionPlan::GpuOnly, 1),
+            (PartitionPlan::NpuOnly { padded_m: 512 }, 2),
+            (
+                PartitionPlan::NpuPipe {
+                    chunks: vec![256, 64],
+                    padded_rows: 20,
+                },
+                3,
+            ),
+            (
+                PartitionPlan::HybridCut {
+                    padded_m: 512,
+                    gpu_cols: 1024,
+                },
+                3,
+            ),
+            (
+                PartitionPlan::SeqCut {
+                    npu_chunks: vec![256, 32],
+                    gpu_rows: 12,
+                },
+                4,
+            ),
+        ] {
+            let events = s.event_cost_intervals(&plan, shape, Dominance::NpuDominant);
+            assert_eq!(events.len(), expect, "{plan:?}");
+            assert!(events.iter().all(CostInterval::is_valid), "{plan:?}");
+        }
+    }
+}

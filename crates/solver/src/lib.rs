@@ -17,10 +17,13 @@
 //! of 32. The [`table::PlanTable`] caches solved plans per operator and
 //! sequence length — the control-plane "runtime decider".
 
+pub mod bound;
 pub mod plan;
+pub mod regions;
 pub mod solver;
 pub mod table;
 
 pub use plan::{PartitionPlan, PlanChoice};
+pub use regions::{PlanRegion, RegionTable};
 pub use solver::{Solver, SolverConfig};
 pub use table::PlanTable;

@@ -1,0 +1,367 @@
+//! Static buffer-liveness tables for partition plans.
+//!
+//! For each plan the solver can emit, this module derives the pooled
+//! tensor regions the plan's execution touches — activation input,
+//! per-side partial outputs — with their live ranges expressed in
+//! *schedule steps* (indices into `SyncSchedule::for_plan`'s event
+//! list). The abstract interpreter in `hetero-analyze` folds these
+//! tables into a sound peak-footprint bound, and the `buffer-leak`
+//! rule checks that no region stays live past its last structural
+//! reader.
+//!
+//! Region sizes follow the runtime's `MemoryPool` accounting: every
+//! acquisition is rounded up to a power of two with a 4 KiB floor, so
+//! the static sum over-approximates (never under-approximates) what
+//! the pool's high-water mark can reach for the same acquisitions.
+
+use hetero_tensor::shape::MatmulShape;
+
+use crate::plan::PartitionPlan;
+
+/// Bytes per activation/output element (F16 activations, W4A16).
+const ACT_BYTES: usize = 2;
+
+/// The pool's allocation granularity floor (mirrors
+/// `hetero_core::mem::MemoryPool`).
+const POOL_MIN_BYTES: usize = 4096;
+
+/// Round a request the way the runtime memory pool does: power of two,
+/// 4 KiB floor.
+pub fn pool_rounded(bytes: usize) -> usize {
+    bytes.max(POOL_MIN_BYTES).next_power_of_two()
+}
+
+/// One pooled region a plan's execution acquires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRegion {
+    /// Human-readable label (`"input"`, `"gpu-partial"`, …).
+    pub label: String,
+    /// Bump-allocated byte offset inside the plan's arena.
+    pub offset: usize,
+    /// Requested bytes (before pool rounding).
+    pub bytes: usize,
+    /// First schedule step (event index) at which the region is live.
+    pub live_from: usize,
+    /// Last schedule step at which the region is live (inclusive).
+    pub live_until: usize,
+    /// Schedule steps that structurally read the region.
+    pub readers: Vec<usize>,
+}
+
+impl PlanRegion {
+    /// Pool-rounded size of this region.
+    pub fn rounded_bytes(&self) -> usize {
+        pool_rounded(self.bytes)
+    }
+
+    /// Whether the region stays live past its last structural reader —
+    /// the shape of defect the `buffer-leak` rule reports.
+    pub fn leaks(&self) -> bool {
+        match self.readers.iter().max() {
+            Some(&last) => self.live_until > last,
+            None => true, // live but never read: trivially a leak
+        }
+    }
+}
+
+/// Buffer-liveness table for one plan: all regions plus the schedule
+/// step count they index into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionTable {
+    /// Number of schedule steps (events) the live ranges index into.
+    pub steps: usize,
+    /// Regions acquired over the plan's execution.
+    pub regions: Vec<PlanRegion>,
+}
+
+impl RegionTable {
+    /// Derive the region table for `plan` solving `shape`.
+    ///
+    /// The layout mirrors the sync-schedule event order used by
+    /// `SyncSchedule::for_plan` and `Solver::event_cost_intervals`:
+    /// the activation input is live from step 0 through the last
+    /// compute step that reads it, and each side's partial output is
+    /// live from the step producing it through the rendezvous/switch
+    /// step that publishes it.
+    pub fn for_plan(plan: &PartitionPlan, shape: MatmulShape) -> Self {
+        let input_bytes = shape.m * shape.k * ACT_BYTES;
+        let mut regions: Vec<PlanRegion> = Vec::new();
+        let steps = match plan {
+            PartitionPlan::GpuOnly => {
+                regions.push(PlanRegion {
+                    label: "input".into(),
+                    offset: 0,
+                    bytes: input_bytes,
+                    live_from: 0,
+                    live_until: 0,
+                    readers: vec![0],
+                });
+                regions.push(PlanRegion {
+                    label: "gpu-out".into(),
+                    offset: 0,
+                    bytes: shape.m * shape.n * ACT_BYTES,
+                    live_from: 0,
+                    live_until: 0,
+                    readers: vec![0],
+                });
+                1
+            }
+            PartitionPlan::NpuOnly { padded_m } => {
+                // Events: [npu submit, switch].
+                regions.push(PlanRegion {
+                    label: "input".into(),
+                    offset: 0,
+                    bytes: padded_m * shape.k * ACT_BYTES,
+                    live_from: 0,
+                    live_until: 0,
+                    readers: vec![0],
+                });
+                regions.push(PlanRegion {
+                    label: "npu-out".into(),
+                    offset: 0,
+                    bytes: padded_m * shape.n * ACT_BYTES,
+                    live_from: 0,
+                    live_until: 1,
+                    readers: vec![0, 1],
+                });
+                2
+            }
+            PartitionPlan::NpuPipe { chunks, .. }
+            | PartitionPlan::SeqCut {
+                npu_chunks: chunks,
+                gpu_rows: 0,
+            } => {
+                // Events: [chunk 0 … chunk K-1, switch].
+                let switch = chunks.len();
+                regions.push(PlanRegion {
+                    label: "input".into(),
+                    offset: 0,
+                    bytes: input_bytes,
+                    live_from: 0,
+                    live_until: switch.saturating_sub(1),
+                    readers: (0..switch.max(1)).collect(),
+                });
+                for (i, &c) in chunks.iter().enumerate() {
+                    regions.push(PlanRegion {
+                        label: format!("npu-chunk-{i}"),
+                        offset: 0,
+                        bytes: c * shape.n * ACT_BYTES,
+                        live_from: i,
+                        live_until: switch,
+                        readers: vec![i, switch],
+                    });
+                }
+                switch + 1
+            }
+            PartitionPlan::RowCut { gpu_cols, padded_m }
+            | PartitionPlan::HybridCut { padded_m, gpu_cols } => {
+                // Events: [gpu submit, npu submit, rendezvous].
+                regions.push(PlanRegion {
+                    label: "input".into(),
+                    offset: 0,
+                    bytes: (*padded_m).max(shape.m) * shape.k * ACT_BYTES,
+                    live_from: 0,
+                    live_until: 1,
+                    readers: vec![0, 1],
+                });
+                regions.push(PlanRegion {
+                    label: "gpu-partial".into(),
+                    offset: 0,
+                    bytes: shape.m * gpu_cols * ACT_BYTES,
+                    live_from: 0,
+                    live_until: 2,
+                    readers: vec![0, 2],
+                });
+                regions.push(PlanRegion {
+                    label: "npu-partial".into(),
+                    offset: 0,
+                    bytes: padded_m * (shape.n - gpu_cols) * ACT_BYTES,
+                    live_from: 1,
+                    live_until: 2,
+                    readers: vec![1, 2],
+                });
+                3
+            }
+            PartitionPlan::SeqCut {
+                npu_chunks,
+                gpu_rows,
+            } => {
+                // Events: [gpu submit, chunk 0 … chunk K-1, rendezvous].
+                let rendezvous = 1 + npu_chunks.len();
+                regions.push(PlanRegion {
+                    label: "input".into(),
+                    offset: 0,
+                    bytes: input_bytes,
+                    live_from: 0,
+                    live_until: rendezvous - 1,
+                    readers: (0..rendezvous).collect(),
+                });
+                regions.push(PlanRegion {
+                    label: "gpu-partial".into(),
+                    offset: 0,
+                    bytes: gpu_rows * shape.n * ACT_BYTES,
+                    live_from: 0,
+                    live_until: rendezvous,
+                    readers: vec![0, rendezvous],
+                });
+                for (i, &c) in npu_chunks.iter().enumerate() {
+                    regions.push(PlanRegion {
+                        label: format!("npu-chunk-{i}"),
+                        offset: 0,
+                        bytes: c * shape.n * ACT_BYTES,
+                        live_from: 1 + i,
+                        live_until: rendezvous,
+                        readers: vec![1 + i, rendezvous],
+                    });
+                }
+                rendezvous + 1
+            }
+        };
+        // Bump-allocate offsets in declaration order, at pool-rounded
+        // granularity, so regions can never alias.
+        let mut cursor = 0usize;
+        for r in &mut regions {
+            r.offset = cursor;
+            cursor += r.rounded_bytes();
+        }
+        Self { steps, regions }
+    }
+
+    /// Pool-rounded bytes live at schedule step `step`.
+    pub fn live_bytes_at(&self, step: usize) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| r.live_from <= step && step <= r.live_until)
+            .map(PlanRegion::rounded_bytes)
+            .sum()
+    }
+
+    /// The max-plateau of [`Self::live_bytes_at`] over all steps — the
+    /// static peak pooled footprint of the plan.
+    pub fn peak_bytes(&self) -> usize {
+        (0..self.steps)
+            .map(|s| self.live_bytes_at(s))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Regions that stay live past their last structural reader.
+    pub fn leaked_regions(&self) -> Vec<&PlanRegion> {
+        self.regions.iter().filter(|r| r.leaks()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_rounding_matches_mempool_policy() {
+        assert_eq!(pool_rounded(1), 4096);
+        assert_eq!(pool_rounded(4096), 4096);
+        assert_eq!(pool_rounded(4097), 8192);
+        assert_eq!(pool_rounded(1 << 20), 1 << 20);
+        assert_eq!(pool_rounded((1 << 20) + 1), 1 << 21);
+    }
+
+    #[test]
+    fn step_counts_match_schedule_layout() {
+        let shape = MatmulShape::new(300, 4096, 4096);
+        let cases = [
+            (PartitionPlan::GpuOnly, 1),
+            (PartitionPlan::NpuOnly { padded_m: 512 }, 2),
+            (
+                PartitionPlan::NpuPipe {
+                    chunks: vec![256, 64],
+                    padded_rows: 20,
+                },
+                3,
+            ),
+            (
+                PartitionPlan::HybridCut {
+                    padded_m: 512,
+                    gpu_cols: 1024,
+                },
+                3,
+            ),
+            (
+                PartitionPlan::SeqCut {
+                    npu_chunks: vec![256, 32],
+                    gpu_rows: 12,
+                },
+                4,
+            ),
+        ];
+        for (plan, expect) in cases {
+            assert_eq!(
+                RegionTable::for_plan(&plan, shape).steps,
+                expect,
+                "{plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn freshly_derived_tables_never_leak() {
+        let shape = MatmulShape::new(300, 4096, 4096);
+        for plan in [
+            PartitionPlan::GpuOnly,
+            PartitionPlan::NpuOnly { padded_m: 512 },
+            PartitionPlan::SeqCut {
+                npu_chunks: vec![256, 32],
+                gpu_rows: 12,
+            },
+        ] {
+            let table = RegionTable::for_plan(&plan, shape);
+            assert!(table.leaked_regions().is_empty(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn crafted_leak_is_detected() {
+        let shape = MatmulShape::new(256, 4096, 4096);
+        let mut table = RegionTable::for_plan(&PartitionPlan::GpuOnly, shape);
+        table.steps += 1;
+        table.regions[0].live_until = 1; // past its only reader at step 0
+        let leaks = table.leaked_regions();
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(leaks[0].label, "input");
+    }
+
+    #[test]
+    fn offsets_are_disjoint() {
+        let shape = MatmulShape::new(300, 4096, 14336);
+        let table = RegionTable::for_plan(
+            &PartitionPlan::HybridCut {
+                padded_m: 512,
+                gpu_cols: 2048,
+            },
+            shape,
+        );
+        let mut spans: Vec<(usize, usize)> = table
+            .regions
+            .iter()
+            .map(|r| (r.offset, r.offset + r.rounded_bytes()))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping regions: {spans:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_peak_exceeds_either_side_alone() {
+        let shape = MatmulShape::new(256, 4096, 4096);
+        let table = RegionTable::for_plan(
+            &PartitionPlan::RowCut {
+                gpu_cols: 1024,
+                padded_m: 256,
+            },
+            shape,
+        );
+        // At the npu-submit step, input + both partials are all live.
+        let peak = table.peak_bytes();
+        assert_eq!(peak, table.live_bytes_at(1));
+        assert!(peak > table.regions[0].rounded_bytes());
+    }
+}

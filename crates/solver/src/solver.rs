@@ -102,7 +102,7 @@ impl<P: CostProvider> Solver<P> {
         &self.cfg
     }
 
-    fn npu_cost(&self, shape: MatmulShape, condition: BwCondition) -> SimTime {
+    pub(crate) fn npu_cost(&self, shape: MatmulShape, condition: BwCondition) -> SimTime {
         if self.cfg.permute_for_npu {
             // Permuted execution `[n,k] x [k,m]`: the INT4 weight is the
             // streamed operand, the FP16 activation is stationary.
@@ -124,7 +124,7 @@ impl<P: CostProvider> Solver<P> {
         }
     }
 
-    fn gpu_cost(&self, shape: MatmulShape, condition: BwCondition) -> SimTime {
+    pub(crate) fn gpu_cost(&self, shape: MatmulShape, condition: BwCondition) -> SimTime {
         self.provider.matmul_cost(
             Backend::Gpu,
             shape,
