@@ -30,6 +30,10 @@
 //! - `timeline FILE` — lint an exported Chrome trace-event JSON file
 //!   (`--trace-out` output): spans nest per track, every submit has a
 //!   matching complete, flow arrows pair up, timestamps are integers.
+//! - `fleet` — fleet-serving robustness gate: check the shipped retry
+//!   policy against `retry-storm`, then run a seeded fleet comparison
+//!   and check the robust arm's evidence against `shed-starvation`
+//!   (and that no request went unrecovered).
 //!
 //! Exit status: 0 when no deny-level finding, 1 otherwise, 2 on usage
 //! errors. CI gates on this.
@@ -42,10 +46,11 @@ use hetero_analyze::sweep::{
 };
 use hetero_analyze::RULES;
 use hetero_analyze::{bound_lint_degraded_session, bound_lint_models, DEFAULT_POOL_BYTES};
+use hetero_fleet::{FleetConfig, FleetSim, RetryPolicy};
 use hetero_soc::sync::SyncMechanism;
 use heterollm::ModelConfig;
 
-const USAGE: &str = "usage: analyze [race|explore|integrity|bound|timeline FILE] [--json] \
+const USAGE: &str = "usage: analyze [race|explore|integrity|bound|fleet|timeline FILE] [--json] \
      [--model NAME] [--mechanism fast|driver] [--seq N,N,...] [--rules]";
 
 #[derive(PartialEq, Eq, Clone)]
@@ -55,6 +60,7 @@ enum Command {
     Explore,
     Integrity,
     Bound,
+    Fleet,
     Timeline(String),
 }
 
@@ -89,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
                 "explore" => Command::Explore,
                 "integrity" => Command::Integrity,
                 "bound" => Command::Bound,
+                "fleet" => Command::Fleet,
                 "timeline" => {
                     let path = it.next().ok_or("timeline needs a trace file path")?;
                     Command::Timeline(path)
@@ -228,6 +235,29 @@ fn main() -> ExitCode {
             report
         }
         Command::Integrity => integrity_lint_models(&models, &args.seqs, args.mechanism),
+        Command::Fleet => {
+            let mut report = hetero_analyze::Report::new();
+            report.extend(hetero_analyze::check_retry_policy(
+                &RetryPolicy::standard(),
+                "RetryPolicy::standard",
+            ));
+            let sim = FleetSim::new(FleetConfig::standard(42, 64, 600));
+            let cmp = sim.compare();
+            if !args.json {
+                println!(
+                    "fleet[seed=42,devices=64]: robust lost={} att={}ppm | naive lost={} att={}ppm",
+                    cmp.robust.lost,
+                    cmp.robust.attainment_ppm,
+                    cmp.naive.lost,
+                    cmp.naive.attainment_ppm
+                );
+            }
+            report.extend(hetero_analyze::check_fleet_arm(
+                &cmp.robust,
+                "fleet[42]/robust",
+            ));
+            report
+        }
         Command::Bound => {
             // One representative prefill length (the paper's misaligned
             // 300) unless the user narrowed --seq, like `race`.

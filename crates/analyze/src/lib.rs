@@ -32,6 +32,8 @@
 //! | `deadline-infeasible` | deny | static *lower* latency bound already busts the SLO (§4.3) |
 //! | `deadline-at-risk`   | warn | static *upper* latency bound busts the SLO, lower meets it (§4.3) |
 //! | `bound-unsound`      | deny | DES peak bytes and TTFT/TPOT stay inside the static bounds (§4.2, §4.3) |
+//! | `retry-storm`        | deny | fleet retry policies are storm-safe: bounded, backed-off, jittered (§6) |
+//! | `shed-starvation`    | warn | load shedding never starves a class while the fleet is idle (§6) |
 //!
 //! The trace rules ([`timeline`]) re-check exported `--trace-out`
 //! files from the outside — `analyze timeline <FILE>` parses the JSON
@@ -43,6 +45,12 @@
 //! by [`race::log_from_schedule`], using a three-actor vector clock to
 //! decide happens-before ([`race`]) and a bounded exhaustive replay of
 //! legal orderings to certify output determinism ([`explore`]).
+//!
+//! The fleet rules ([`fleet`]) gate the `hetero-fleet` serving layer:
+//! `retry-storm` statically rejects retry policies that amplify
+//! correlated faults, and `shed-starvation` reads a finished fleet
+//! arm report as dynamic evidence that admission control starved a
+//! priority class while capacity sat idle (`analyze fleet` in CI).
 //!
 //! The bound rules ([`bound`]) are the analyzer's cost layer: a
 //! generic join-semilattice worklist interpreter over the submission
@@ -65,6 +73,7 @@ pub mod bound;
 pub mod diag;
 pub mod explore;
 pub mod fallback;
+pub mod fleet;
 pub mod mem;
 pub mod plan_rules;
 pub mod race;
@@ -80,6 +89,7 @@ pub use bound::{
 pub use diag::{Diagnostic, Report, Severity, Summary};
 pub use explore::{explore_schedule, DeterminismCertificate, ExploreConfig};
 pub use fallback::check_fallback;
+pub use fleet::{check_fleet_arm, check_retry_policy};
 pub use mem::{check_regions, TensorRegion};
 pub use plan_rules::{check_plan, PlanContext};
 pub use race::{check_log, check_schedule_races, log_from_schedule};

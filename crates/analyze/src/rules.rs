@@ -68,6 +68,13 @@ pub const DEADLINE_AT_RISK: &str = "deadline-at-risk";
 /// Rule: DES-simulated peak bytes and observed TTFT/TPOT must fall
 /// inside the abstract interpreter's static bounds.
 pub const BOUND_UNSOUND: &str = "bound-unsound";
+/// Rule: a retry policy must have a bounded attempt budget and a real
+/// exponential backoff (factor ≥ 2, non-zero base) so correlated
+/// failures cannot amplify into a fleet-wide retry storm.
+pub const RETRY_STORM: &str = "retry-storm";
+/// Rule: no priority class may be starved by load shedding while the
+/// fleet still has idle capacity.
+pub const SHED_STARVATION: &str = "shed-starvation";
 
 /// Metadata for one registered rule.
 #[derive(Debug, Clone, Copy)]
@@ -83,7 +90,7 @@ pub struct RuleInfo {
 }
 
 /// All registered rules.
-pub const RULES: [RuleInfo; 22] = [
+pub const RULES: [RuleInfo; 24] = [
     RuleInfo {
         id: SHAPE_CONSERVATION,
         severity: Severity::Deny,
@@ -236,6 +243,21 @@ pub const RULES: [RuleInfo; 22] = [
                   the abstract interpreter's static bounds",
         paper: "§4.2, §4.3",
     },
+    RuleInfo {
+        id: RETRY_STORM,
+        severity: Severity::Deny,
+        summary: "retry policies are storm-safe: bounded attempts, non-zero \
+                  base delay, backoff factor ≥ 2, jittered, with a finite \
+                  total-backoff bound",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: SHED_STARVATION,
+        severity: Severity::Warn,
+        summary: "load shedding never starves a priority class while the \
+                  fleet has idle capacity",
+        paper: "§6 (fleet serving)",
+    },
 ];
 
 /// Look up a rule by id.
@@ -281,10 +303,12 @@ mod tests {
             DEADLINE_INFEASIBLE,
             DEADLINE_AT_RISK,
             BOUND_UNSOUND,
+            RETRY_STORM,
+            SHED_STARVATION,
         ] {
             assert!(rule(id).is_some(), "{id} missing from RULES");
         }
-        assert_eq!(RULES.len(), 22, "registry and const list out of sync");
+        assert_eq!(RULES.len(), 24, "registry and const list out of sync");
     }
 
     #[test]
@@ -294,6 +318,12 @@ mod tests {
         assert_eq!(rule(DEADLINE_INFEASIBLE).unwrap().severity, Severity::Deny);
         assert_eq!(rule(DEADLINE_AT_RISK).unwrap().severity, Severity::Warn);
         assert_eq!(rule(BOUND_UNSOUND).unwrap().severity, Severity::Deny);
+    }
+
+    #[test]
+    fn fleet_rule_severities() {
+        assert_eq!(rule(RETRY_STORM).unwrap().severity, Severity::Deny);
+        assert_eq!(rule(SHED_STARVATION).unwrap().severity, Severity::Warn);
     }
 
     #[test]

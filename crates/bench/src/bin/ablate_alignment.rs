@@ -30,6 +30,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("ablate_alignment");
     println!("Ablation: row-partition alignment (Llama-8B, seq 256, prefill)\n");
     let model = ModelConfig::llama_8b();
     let mut t = Table::new(&["align", "operator", "est latency", "row-cut candidates"]);

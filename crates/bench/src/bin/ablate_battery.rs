@@ -30,6 +30,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("ablate_battery");
     println!("Extension: tokens per battery charge (Llama-3B, 30% of a 69 kJ battery)\n");
     let model = ModelConfig::llama_3b();
     let mut t = Table::new(&[

@@ -64,6 +64,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("ablate_mempool");
     println!("Ablation: shared memory pool vs fresh per-op allocation\n");
     let mut t = Table::new(&[
         "model",

@@ -29,6 +29,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("ablate_min_gain");
     println!("Ablation: min-parallel-gain threshold (Llama-8B, seq 256 prefill)\n");
     let model = ModelConfig::llama_8b();
     let mut t = Table::new(&["min gain", "tokens/s", "GPU duty", "power (W)"]);

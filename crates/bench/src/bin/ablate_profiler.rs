@@ -26,6 +26,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("ablate_profiler");
     println!("Ablation: profiler mode (real-execution vs decision-tree prediction)\n");
     let mut t = Table::new(&[
         "model",

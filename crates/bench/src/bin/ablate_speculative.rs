@@ -31,6 +31,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("ablate_speculative");
     println!("Extension: speculative decoding (Llama-8B, prompt 256)\n");
     let model = ModelConfig::llama_8b();
     let target = 64usize;

@@ -40,6 +40,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("ablate_strategies");
     println!("Ablation: strategy families (Llama-8B, prefill)\n");
     let model = ModelConfig::llama_8b();
     let variants: [(&str, bool, bool); 4] = [

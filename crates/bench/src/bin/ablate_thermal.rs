@@ -31,6 +31,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("ablate_thermal");
     println!("Extension: thermal throttling over a 30-minute decode session (Llama-8B)\n");
     let model = ModelConfig::llama_8b();
     let thermal = ThermalModel::default();

@@ -26,6 +26,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("compare_socs");
     println!("Cross-SoC projection: Hetero-tensor on Table-1 phone SoCs (Llama-3B)\n");
     println!("(GPU/NPU throughput scaled from published specs by the 8 Gen 3's");
     println!(" achieved/theoretical ratios; memory and drivers held constant.)\n");

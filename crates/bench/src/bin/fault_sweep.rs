@@ -82,8 +82,10 @@ fn parse_args() -> Args {
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
-            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
-            "--requests" => args.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = hetero_bench::parse_flag("fault_sweep", "--seed", &value()),
+            "--requests" => {
+                args.requests = hetero_bench::parse_flag("fault_sweep", "--requests", &value());
+            }
             "--json" => args.json = true,
             "--integrity" => args.integrity = true,
             "--trace-out" => args.trace_out = Some(value()),

@@ -26,6 +26,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("fig02_gpu_linear");
     println!("Figure 2: GPU effective throughput vs square GEMM size\n");
     let gpu = GpuModel::default();
     let mut t = Table::new(&["size", "time", "TFLOPS"]);

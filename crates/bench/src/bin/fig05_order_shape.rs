@@ -28,6 +28,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("fig05_order_shape");
     println!("Figure 5: order- and shape-sensitive NPU performance\n");
     let npu = NpuModel::default();
     let time_ms = |s: MatmulShape| {

@@ -19,6 +19,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("fig06_bandwidth");
     println!("Figure 6: achievable memory bandwidth per processor combination\n");
     let mem = MemorySystem::default();
     let combos: Vec<(&str, Vec<Backend>)> = vec![

@@ -20,6 +20,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("fig09_graph_gen");
     println!("Figure 9: NPU graph generation time per operator\n");
     let model = CompileModel::default();
     let set = GraphSet::llama8b();

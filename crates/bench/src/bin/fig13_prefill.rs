@@ -29,14 +29,26 @@ const ENGINES: [EngineKind; 7] = [
     EngineKind::HeteroTensor,
 ];
 
-fn parse_trace_out() -> Option<String> {
+fn parse_trace_out(bin: &str) -> Option<String> {
+    let mut out = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        if flag == "--trace-out" {
-            return Some(it.next().expect("--trace-out needs a path"));
+        match flag.as_str() {
+            "--trace-out" => {
+                out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("{bin}: --trace-out needs a path");
+                    std::process::exit(2)
+                }));
+            }
+            "--analyze" | "--help" | "-h" => {}
+            other => {
+                eprintln!("{bin}: unexpected argument '{other}'");
+                eprintln!("run with --help for usage");
+                std::process::exit(2);
+            }
         }
     }
-    None
+    out
 }
 
 fn main() {
@@ -49,7 +61,7 @@ fn main() {
         )],
     );
     hetero_bench::maybe_analyze();
-    let trace_out = parse_trace_out();
+    let trace_out = parse_trace_out("fig13_prefill");
     println!("Figure 13: prefill speed (tokens/s)\n");
     let seqs = [64usize, 256, 1024];
     let mut points = Vec::new();

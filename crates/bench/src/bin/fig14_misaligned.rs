@@ -30,6 +30,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("fig14_misaligned");
     println!("Figure 14: prefill latency at misaligned sequence lengths (Llama-8B, ms)\n");
     let model = ModelConfig::llama_8b();
     let mut t = Table::new(&[

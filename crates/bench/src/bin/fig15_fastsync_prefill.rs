@@ -22,6 +22,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("fig15_fastsync_prefill");
     println!("Figure 15: prefill tokens/s with and without fast synchronization\n");
     let mut points = Vec::new();
     for model in ModelConfig::evaluation_models() {

@@ -28,14 +28,26 @@ const ENGINES: [EngineKind; 6] = [
     EngineKind::HeteroTensor,
 ];
 
-fn parse_trace_out() -> Option<String> {
+fn parse_trace_out(bin: &str) -> Option<String> {
+    let mut out = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        if flag == "--trace-out" {
-            return Some(it.next().expect("--trace-out needs a path"));
+        match flag.as_str() {
+            "--trace-out" => {
+                out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("{bin}: --trace-out needs a path");
+                    std::process::exit(2)
+                }));
+            }
+            "--analyze" | "--help" | "-h" => {}
+            other => {
+                eprintln!("{bin}: unexpected argument '{other}'");
+                eprintln!("run with --help for usage");
+                std::process::exit(2);
+            }
         }
     }
-    None
+    out
 }
 
 fn main() {
@@ -48,7 +60,7 @@ fn main() {
         )],
     );
     hetero_bench::maybe_analyze();
-    let trace_out = parse_trace_out();
+    let trace_out = parse_trace_out("fig16_decode");
     println!("Figure 16: decoding rate (tokens/s), prompt length 256\n");
     let mut points = Vec::new();
     let models = ModelConfig::evaluation_models();

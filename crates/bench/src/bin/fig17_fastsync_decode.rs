@@ -20,6 +20,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("fig17_fastsync_decode");
     println!("Figure 17: Hetero-tensor decode tokens/s with/without fast sync\n");
     let mut t = Table::new(&["model", "fast sync", "driver sync", "speedup"]);
     let mut points = Vec::new();

@@ -26,6 +26,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("fig18_interference");
     println!("Figure 18: prefill with a concurrent game (Llama-8B, seq 256)\n");
     let model = ModelConfig::llama_8b();
     let game = RenderWorkload::game_60fps();

@@ -61,8 +61,12 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--model" => args.model = parse_model(&value()).unwrap_or_else(|| usage()),
             "--engine" => args.engine = parse_engine(&value()).unwrap_or_else(|| usage()),
-            "--prompt" => args.prompt = value().parse().unwrap_or_else(|_| usage()),
-            "--decode" => args.decode = value().parse().unwrap_or_else(|_| usage()),
+            "--prompt" => {
+                args.prompt = hetero_bench::parse_flag("heterollm_sim", "--prompt", &value());
+            }
+            "--decode" => {
+                args.decode = hetero_bench::parse_flag("heterollm_sim", "--decode", &value());
+            }
             "--sync" => {
                 args.sync = match value().as_str() {
                     "fast" => SyncMechanism::Fast,

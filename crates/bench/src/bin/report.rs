@@ -151,6 +151,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("report");
     run_all();
 
     let mut rows: Vec<Row> = Vec::new();

@@ -10,6 +10,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("table1_socs");
     println!("Table 1: Mobile-side heterogeneous SoC specifications\n");
     let specs = table1();
     let mut t = Table::new(&[

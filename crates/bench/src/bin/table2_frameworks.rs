@@ -97,6 +97,7 @@ fn main() {
         &[],
     );
     hetero_bench::maybe_analyze();
+    hetero_bench::expect_no_flags("table2_frameworks");
     println!("Table 2: Mobile-side inference engine capability matrix\n");
     let rows = rows();
     let mut t = Table::new(&[

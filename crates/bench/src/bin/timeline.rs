@@ -51,9 +51,9 @@ fn parse_args() -> Args {
         let mut value = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--model" => args.model = ModelConfig::by_name(&value()).unwrap_or_else(|| usage()),
-            "--engine" => args.engine = value().parse().unwrap_or_else(|_| usage()),
-            "--prompt" => args.prompt = value().parse().unwrap_or_else(|_| usage()),
-            "--decode" => args.decode = value().parse().unwrap_or_else(|_| usage()),
+            "--engine" => args.engine = hetero_bench::parse_flag("timeline", "--engine", &value()),
+            "--prompt" => args.prompt = hetero_bench::parse_flag("timeline", "--prompt", &value()),
+            "--decode" => args.decode = hetero_bench::parse_flag("timeline", "--decode", &value()),
             "--sync" => {
                 args.sync = match value().as_str() {
                     "fast" => SyncMechanism::Fast,
@@ -61,7 +61,7 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
-            "--width" => args.width = value().parse().unwrap_or_else(|_| usage()),
+            "--width" => args.width = hetero_bench::parse_flag("timeline", "--width", &value()),
             "--trace-out" => args.trace_out = Some(value()),
             "--analyze" => {} // handled by maybe_analyze
             _ => usage(),

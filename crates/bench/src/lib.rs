@@ -94,6 +94,41 @@ pub fn maybe_help(bin: &str, about: &str, flags: &[(&str, &str)]) {
     std::process::exit(0);
 }
 
+/// Parse one flag's value for an experiment binary, or exit **2**
+/// with a uniform `bad value` message.
+///
+/// Every binary that takes `--seed N` (or any numeric flag) funnels
+/// the raw string through here, so `some_bin --seed junk` fails the
+/// same way everywhere: a `bin: bad value 'junk' for --seed` line, a
+/// pointer at `--help`, and exit code 2 — never a silent fallback to
+/// the default.
+pub fn parse_flag<T: std::str::FromStr>(bin: &str, flag: &str, raw: &str) -> T {
+    raw.trim().parse().unwrap_or_else(|_| {
+        eprintln!("{bin}: bad value '{raw}' for {flag}");
+        eprintln!("run with --help for usage");
+        std::process::exit(2)
+    })
+}
+
+/// Reject stray command-line arguments for binaries that define no
+/// flags of their own (exit **2**), keeping argv handling uniform
+/// across the suite.
+///
+/// The shared `--analyze` / `--help` / `-h` flags are allowed (they
+/// are consumed by [`maybe_analyze`] / [`maybe_help`], which run
+/// first). Anything else — including a well-intentioned `--seed` on a
+/// binary that is deterministic by construction — is an error, not
+/// silently ignored.
+pub fn expect_no_flags(bin: &str) {
+    for a in std::env::args().skip(1) {
+        if a != "--analyze" && a != "--help" && a != "-h" {
+            eprintln!("{bin}: unexpected argument '{a}' (this binary takes no flags of its own)");
+            eprintln!("run with --help for usage");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// A simple aligned text table.
 #[derive(Debug, Clone)]
 pub struct Table {

@@ -3,6 +3,7 @@
 use hetero_soc::sync::SyncMechanism;
 
 use crate::engines::{Engine, EngineKind};
+use crate::error::EngineError;
 use crate::model::ModelConfig;
 use crate::obs::{MetricsRegistry, SpanKind, Timeline, Track};
 use crate::report::SessionReport;
@@ -39,6 +40,16 @@ impl InferenceSession {
         }
     }
 
+    /// Wrap an already-built engine (e.g. one constructed with a
+    /// projected [`hetero_soc::SocConfig`] for another Table-1 SoC).
+    ///
+    /// This is the router-facing entry point: fleet devices build
+    /// their engines per device profile and drive them through the
+    /// fallible session API so engine faults surface as values.
+    pub fn from_engine(engine: Box<dyn Engine>) -> Self {
+        Self { engine }
+    }
+
     /// Access the underlying engine.
     pub fn engine(&self) -> &dyn Engine {
         self.engine.as_ref()
@@ -50,12 +61,20 @@ impl InferenceSession {
     }
 
     /// Run prefill over `prompt_len` tokens, then `decode_tokens`
-    /// decode steps; finalize power accounting.
-    pub fn run(&mut self, prompt_len: usize, decode_tokens: usize) -> SessionReport {
-        let prefill = self.engine.prefill(prompt_len);
-        let decode = self.engine.decode(prompt_len, decode_tokens);
+    /// decode steps; finalize power accounting. Engine faults
+    /// (malformed traces, causality violations, exhausted sync
+    /// retries) come back as typed [`EngineError`]s so callers like
+    /// the fleet router can count them as device faults instead of
+    /// aborting a sweep.
+    pub fn try_run(
+        &mut self,
+        prompt_len: usize,
+        decode_tokens: usize,
+    ) -> Result<SessionReport, EngineError> {
+        let prefill = self.engine.try_prefill(prompt_len)?;
+        let decode = self.engine.try_decode(prompt_len, decode_tokens)?;
         let power = self.engine.finish();
-        SessionReport {
+        Ok(SessionReport {
             engine: self.engine.name(),
             model: self.engine.model().name.clone(),
             prefill,
@@ -64,6 +83,20 @@ impl InferenceSession {
             degradation: None,
             integrity: None,
             metrics: None,
+        })
+    }
+
+    /// Infallible [`InferenceSession::try_run`] for experiment
+    /// harnesses running well-formed built-in traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine fails; callers that must survive faults
+    /// use [`InferenceSession::try_run`].
+    pub fn run(&mut self, prompt_len: usize, decode_tokens: usize) -> SessionReport {
+        match self.try_run(prompt_len, decode_tokens) {
+            Ok(r) => r,
+            Err(e) => panic!("session run failed: {e}"),
         }
     }
 
@@ -81,11 +114,25 @@ impl InferenceSession {
         prompt_len: usize,
         decode_tokens: usize,
     ) -> (SessionReport, Timeline) {
+        match self.try_run_observed(prompt_len, decode_tokens) {
+            Ok(r) => r,
+            Err(e) => panic!("observed session run failed: {e}"),
+        }
+    }
+
+    /// Fallible [`InferenceSession::run_observed`]: engine faults are
+    /// returned instead of panicking, with the partial timeline
+    /// dropped.
+    pub fn try_run_observed(
+        &mut self,
+        prompt_len: usize,
+        decode_tokens: usize,
+    ) -> Result<(SessionReport, Timeline), EngineError> {
         self.engine.enable_timeline();
         let phase_start = self.engine.soc().clock();
-        let prefill = self.engine.prefill(prompt_len);
+        let prefill = self.engine.try_prefill(prompt_len)?;
         let prefill_end = self.engine.soc().clock();
-        let decode = self.engine.decode(prompt_len, decode_tokens);
+        let decode = self.engine.try_decode(prompt_len, decode_tokens)?;
         let decode_end = self.engine.soc().clock();
         let power = self.engine.finish();
 
@@ -116,7 +163,7 @@ impl InferenceSession {
             integrity: None,
             metrics: Some(metrics),
         };
-        (report, tl)
+        Ok((report, tl))
     }
 }
 
@@ -159,12 +206,25 @@ impl InferenceSession {
     /// turn's own length; decode attends over the full accumulated
     /// context.
     pub fn run_conversation(&mut self, turns: &[ChatTurn]) -> ConversationReport {
+        match self.try_run_conversation(turns) {
+            Ok(r) => r,
+            Err(e) => panic!("conversation run failed: {e}"),
+        }
+    }
+
+    /// Fallible [`InferenceSession::run_conversation`]: the first
+    /// engine fault aborts the conversation and is returned as a
+    /// value.
+    pub fn try_run_conversation(
+        &mut self,
+        turns: &[ChatTurn],
+    ) -> Result<ConversationReport, EngineError> {
         let mut ctx = 0usize;
         let mut reports = Vec::with_capacity(turns.len());
         for turn in turns {
-            let prefill = self.engine.prefill(turn.prompt_tokens);
+            let prefill = self.engine.try_prefill(turn.prompt_tokens)?;
             ctx += turn.prompt_tokens;
-            let decode = self.engine.decode(ctx, turn.response_tokens);
+            let decode = self.engine.try_decode(ctx, turn.response_tokens)?;
             reports.push(TurnReport {
                 context_at_start: ctx - turn.prompt_tokens,
                 ttft: prefill.elapsed,
@@ -174,11 +234,11 @@ impl InferenceSession {
         }
         let total = self.engine.soc().clock();
         let power = self.engine.finish();
-        ConversationReport {
+        Ok(ConversationReport {
             turns: reports,
             total,
             power,
-        }
+        })
     }
 }
 
@@ -225,6 +285,28 @@ mod tests {
         assert!(r.turns[2].tpot >= r.turns[0].tpot);
         assert!(r.total > hetero_soc::SimTime::ZERO);
         assert!(r.power.avg_power_w > 0.0);
+    }
+
+    #[test]
+    fn try_run_matches_run_on_well_formed_traces() {
+        let model = ModelConfig::llama_3b();
+        let mut a = InferenceSession::new(EngineKind::HeteroTensor, &model);
+        let mut b = InferenceSession::new(EngineKind::HeteroTensor, &model);
+        let ra = a.run(64, 8);
+        let rb = b.try_run(64, 8).expect("well-formed trace");
+        assert_eq!(ra.prefill.elapsed, rb.prefill.elapsed);
+        assert_eq!(ra.decode.elapsed, rb.decode.elapsed);
+    }
+
+    #[test]
+    fn from_engine_runs_a_prebuilt_engine() {
+        let model = ModelConfig::llama_3b();
+        let cfg = crate::engines::hetero_soc_config(SyncMechanism::Fast);
+        let engine = crate::engines::HeteroTensorEngine::with_soc_config(&model, cfg);
+        let mut s = InferenceSession::from_engine(Box::new(engine));
+        let r = s.try_run(64, 8).expect("well-formed trace");
+        assert_eq!(r.prefill.tokens, 64);
+        assert_eq!(r.engine, "Hetero-tensor");
     }
 
     #[test]

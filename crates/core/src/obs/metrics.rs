@@ -88,6 +88,44 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
         &self.buckets
     }
+
+    /// Fold another histogram into this one (bucket-wise sums).
+    ///
+    /// Merging is commutative and associative, so per-device fleet
+    /// histograms can be combined in any order with a byte-identical
+    /// result.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Upper bound (inclusive, nanoseconds) of the bucket holding the
+    /// `num/den` nearest-rank quantile; 0 when the histogram is empty.
+    ///
+    /// Because buckets are powers of two, the bound is exact to within
+    /// one bucket of the true sample quantile — the property the fleet
+    /// merge proptests pin against a sorted-sample oracle.
+    pub fn quantile_upper_ns(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0 && num <= den, "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        // Nearest-rank: the ceil(num/den * count)-th smallest sample
+        // (1-based), clamped to at least the first.
+        let rank = (u128::from(num) * u128::from(self.count)).div_ceil(u128::from(den));
+        let rank = rank.max(1) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        (1u64 << HISTOGRAM_BUCKETS) - 1
+    }
 }
 
 /// One named counter in a [`MetricsSnapshot`].
@@ -198,6 +236,18 @@ impl MetricsRegistry {
         reg
     }
 
+    /// Fold another registry into this one: counters add, histograms
+    /// merge bucket-wise. Order-independent, like
+    /// [`Histogram::merge`].
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
     /// Freeze into the serializable, name-sorted snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -246,6 +296,56 @@ mod tests {
         assert_eq!(h.buckets()[0], 2);
         assert_eq!(h.buckets()[10], 2);
         assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_buckets() {
+        let mut a = Histogram::new();
+        a.observe(SimTime::from_nanos(3));
+        a.observe(SimTime::from_micros(10));
+        let mut b = Histogram::new();
+        b.observe(SimTime::from_nanos(3));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum_ns(), a.sum_ns() + b.sum_ns());
+        assert_eq!(merged.buckets()[1], 2); // two 3 ns observations
+
+        // Commutative: b.merge(a) gives the same histogram.
+        let mut other = b.clone();
+        other.merge(&a);
+        assert_eq!(merged, other);
+    }
+
+    #[test]
+    fn quantile_upper_bound_brackets_samples() {
+        let mut h = Histogram::new();
+        for ns in [10u64, 20, 30, 1000, 5000] {
+            h.observe(SimTime::from_nanos(ns));
+        }
+        // p50 is the 3rd sample (30 ns, bucket 4: [16, 32)).
+        assert_eq!(h.quantile_upper_ns(50, 100), 31);
+        // p100 is the largest sample (5000 ns, bucket 12).
+        assert_eq!(h.quantile_upper_ns(100, 100), 8191);
+        assert_eq!(Histogram::new().quantile_upper_ns(99, 100), 0);
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.incr("served", 2);
+        a.observe("ttft_ns", us(10));
+        let mut b = MetricsRegistry::new();
+        b.incr("served", 5);
+        b.incr("shed", 1);
+        b.observe("ttft_ns", us(90));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.snapshot(), ba.snapshot());
+        assert_eq!(ab.counter("served"), 7);
+        assert_eq!(ab.histogram("ttft_ns").expect("merged").count(), 2);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Router robustness policies: retry/backoff, circuit breakers, and
+//! priority-aware admission control.
+//!
+//! All schedules are integer-nanosecond and seeded — the same seed
+//! yields a byte-identical backoff schedule, which the fleet
+//! determinism gate (and a proptest) pins.
+
+use hetero_soc::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::draw;
+use crate::workload::Priority;
+
+/// Deterministic retry schedule: exponential backoff with seeded
+/// jitter, a delay cap, and a bounded attempt budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total dispatch attempts per request (first try included).
+    /// Zero means "retry forever" and is rejected by the
+    /// `retry-storm` analyzer rule.
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base: SimTime,
+    /// Multiplier applied per retry (must be ≥ 2 to count as
+    /// backoff; the analyzer denies smaller factors).
+    pub factor: u32,
+    /// Upper bound on any single backoff delay (pre-jitter).
+    pub cap: SimTime,
+    /// Jitter span as a percentage of the capped delay; the drawn
+    /// jitter is added on top.
+    pub jitter_pct: u32,
+    /// How long a dispatched attempt waits before the router declares
+    /// it failed (crash/link-loss detection latency).
+    pub timeout: SimTime,
+}
+
+impl RetryPolicy {
+    /// The shipped robust-router schedule: 4 attempts, 2 ms → 8 ms →
+    /// 32 ms (×4, capped at 200 ms), 20% jitter, 250 ms attempt
+    /// timeout.
+    pub fn standard() -> Self {
+        Self {
+            max_attempts: 4,
+            base: SimTime::from_millis(2),
+            factor: 4,
+            cap: SimTime::from_millis(200),
+            jitter_pct: 20,
+            timeout: SimTime::from_millis(250),
+        }
+    }
+
+    /// Raw (pre-monotonization) delay before retry `attempt`
+    /// (1-based: `attempt = 1` is the delay between the first failure
+    /// and the second try).
+    fn raw_backoff(&self, seed: u64, request_id: u64, attempt: u32) -> SimTime {
+        let growth = u64::from(self.factor).saturating_pow(attempt.saturating_sub(1));
+        let exp = self.base.as_nanos().saturating_mul(growth);
+        let capped = exp.min(self.cap.as_nanos());
+        let span = capped / 100 * u64::from(self.jitter_pct);
+        let jitter = if span == 0 {
+            0
+        } else {
+            draw(seed ^ request_id.rotate_left(17), u64::from(attempt)) % (span + 1)
+        };
+        SimTime::from_nanos(capped + jitter)
+    }
+
+    /// The full backoff schedule for one request: one delay per retry
+    /// (so `max_attempts - 1` entries), monotonized so delays never
+    /// decrease even when jitter at the cap would dip. Deterministic
+    /// in `(seed, request_id)`.
+    pub fn schedule(&self, seed: u64, request_id: u64) -> Vec<SimTime> {
+        let mut prev = SimTime::ZERO;
+        (1..self.max_attempts)
+            .map(|attempt| {
+                let d = self.raw_backoff(seed, request_id, attempt).max(prev);
+                prev = d;
+                d
+            })
+            .collect()
+    }
+
+    /// Upper bound on the summed backoff delays of one request:
+    /// every delay is at most `cap` plus the full jitter span.
+    pub fn total_backoff_bound(&self) -> SimTime {
+        let per = self.cap.as_nanos() + self.cap.as_nanos() / 100 * u64::from(self.jitter_pct);
+        SimTime::from_nanos(per.saturating_mul(u64::from(self.max_attempts.saturating_sub(1))))
+    }
+}
+
+/// Circuit-breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: no dispatches until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request may pass.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Why a breaker changed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerCause {
+    /// Consecutive failures reached the trip threshold.
+    FailureThreshold,
+    /// The open cooldown elapsed.
+    CooldownElapsed,
+    /// The half-open probe succeeded.
+    ProbeSuccess,
+    /// The half-open probe failed.
+    ProbeFailure,
+}
+
+/// One typed breaker state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerTransition {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+    /// What drove it.
+    pub cause: BreakerCause,
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures before tripping open.
+    pub failure_threshold: u32,
+    /// How long an open breaker blocks dispatches.
+    pub cooldown: SimTime,
+}
+
+impl BreakerConfig {
+    /// The shipped tuning: trip after 2 consecutive failures, 500 ms
+    /// cooldown.
+    pub fn standard() -> Self {
+        Self {
+            failure_threshold: 2,
+            cooldown: SimTime::from_millis(500),
+        }
+    }
+}
+
+/// Per-device circuit breaker.
+///
+/// The state machine only leaves [`BreakerState::Open`] through
+/// [`BreakerState::HalfOpen`], and only reaches
+/// [`BreakerState::Closed`] from there on a probe success — the
+/// invariant the breaker proptest checks over the typed transition
+/// log.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: SimTime,
+    transitions: Vec<BreakerTransition>,
+}
+
+impl CircuitBreaker {
+    /// New breaker in the closed state.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: SimTime::ZERO,
+            transitions: Vec::new(),
+        }
+    }
+
+    fn transition(&mut self, at: SimTime, to: BreakerState, cause: BreakerCause) {
+        self.transitions.push(BreakerTransition {
+            at,
+            from: self.state,
+            to,
+            cause,
+        });
+        self.state = to;
+    }
+
+    /// Advance the timed part of the state machine: an open breaker
+    /// whose cooldown has elapsed becomes half-open.
+    pub fn poll(&mut self, now: SimTime) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.open_until {
+            self.transition(now, BreakerState::HalfOpen, BreakerCause::CooldownElapsed);
+        }
+        self.state
+    }
+
+    /// Whether a dispatch may pass at `now` (closed, or half-open
+    /// probe).
+    pub fn allows(&mut self, now: SimTime) -> bool {
+        self.poll(now) != BreakerState::Open
+    }
+
+    /// Record a successful dispatch outcome.
+    pub fn record_success(&mut self, now: SimTime) {
+        self.poll(now);
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.transition(now, BreakerState::Closed, BreakerCause::ProbeSuccess);
+        }
+    }
+
+    /// Record a failed dispatch outcome.
+    pub fn record_failure(&mut self, now: SimTime) {
+        self.poll(now);
+        self.consecutive_failures += 1;
+        match self.state {
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.open_until = now + self.config.cooldown;
+                    self.transition(now, BreakerState::Open, BreakerCause::FailureThreshold);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.open_until = now + self.config.cooldown;
+                self.transition(now, BreakerState::Open, BreakerCause::ProbeFailure);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Current state (without advancing the clock).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Number of times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.transitions
+            .iter()
+            .filter(|t| t.to == BreakerState::Open)
+            .count() as u64
+    }
+
+    /// The typed transition log.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+}
+
+/// Priority-aware load shedding thresholds.
+///
+/// A request is shed at admission when the fleet's busy fraction (in
+/// percent, over devices the router believes healthy) is at or above
+/// its class threshold. Batch sheds first, interactive effectively
+/// never (threshold above 100%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionControl {
+    /// Busy-percent shed thresholds indexed like [`Priority::ALL`].
+    pub shed_busy_pct: [u32; 3],
+}
+
+impl AdmissionControl {
+    /// The shipped policy: batch sheds at 70% utilization, standard
+    /// at 90%, interactive only under total outage (101 = never by
+    /// utilization).
+    pub fn standard() -> Self {
+        Self {
+            shed_busy_pct: [101, 90, 70],
+        }
+    }
+
+    /// Whether to shed a request of `priority` when `busy` of
+    /// `healthy` believed-healthy devices are occupied.
+    pub fn should_shed(&self, priority: Priority, busy: usize, healthy: usize) -> bool {
+        if healthy == 0 {
+            // Nothing to route to; shedding is forced regardless of
+            // class (counted separately by the router).
+            return true;
+        }
+        let pct = busy * 100 / healthy;
+        pct as u32 >= self.shed_busy_pct[priority.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn schedule_is_seed_deterministic_and_monotone() {
+        let p = RetryPolicy::standard();
+        let a = p.schedule(42, 7);
+        let b = p.schedule(42, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert_ne!(a, p.schedule(43, 7), "different seed, different jitter");
+    }
+
+    #[test]
+    fn schedule_total_is_bounded() {
+        let p = RetryPolicy::standard();
+        for rid in 0..50 {
+            let total: SimTime = p.schedule(9, rid).into_iter().sum();
+            assert!(total <= p.total_backoff_bound());
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_via_half_open() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: ms(100),
+        });
+        b.record_failure(ms(1));
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(ms(2));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(ms(50)));
+        // Cooldown elapses: half-open, probe allowed.
+        assert!(b.allows(ms(102)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(ms(110));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 1);
+        // No Open → Closed transition anywhere in the log.
+        assert!(!b
+            .transitions()
+            .iter()
+            .any(|t| t.from == BreakerState::Open && t.to == BreakerState::Closed));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: ms(100),
+        });
+        b.record_failure(ms(1));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allows(ms(150)));
+        b.record_failure(ms(160));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        let probe_fail = b
+            .transitions()
+            .iter()
+            .find(|t| t.cause == BreakerCause::ProbeFailure)
+            .expect("reopen recorded");
+        assert_eq!(probe_fail.from, BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn admission_sheds_batch_before_standard() {
+        let a = AdmissionControl::standard();
+        assert!(a.should_shed(Priority::Batch, 70, 100));
+        assert!(!a.should_shed(Priority::Standard, 70, 100));
+        assert!(a.should_shed(Priority::Standard, 90, 100));
+        assert!(!a.should_shed(Priority::Interactive, 100, 100));
+        assert!(a.should_shed(Priority::Interactive, 0, 0));
+    }
+}

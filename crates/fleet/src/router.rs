@@ -1,0 +1,544 @@
+//! The cluster-level request router and fleet simulator.
+//!
+//! [`FleetSim`] materializes one seeded world — request stream, fault
+//! plan, calibrated device profiles — and replays it under either
+//! routing policy, so arms differ *only* in policy:
+//!
+//! - [`RouterPolicy::RoundRobin`] — the naive baseline: next device
+//!   modulo fleet size, one attempt, no health state. A dispatch into
+//!   a crash or a lost link strands the request.
+//! - [`RouterPolicy::Robust`] — health-probe-informed
+//!   power-of-d-choices selection scored by EWMA latency plus queue
+//!   wait, seeded exponential-backoff retries with per-request device
+//!   exclusion, per-device circuit breakers, and priority-aware
+//!   admission control. Retries are deadline-bounded: the exponential
+//!   schedule runs first, then the capped delay, until the request's
+//!   lost-penalty deadline — fault windows are finite and far shorter
+//!   than the deadline, so a routed request always recovers.
+//!
+//! The router is a discrete-time replay over requests in arrival
+//! order; each device serves its own queue (`busy_until`), so the
+//! fleet serves in parallel while the replay stays sequential and
+//! deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hetero_soc::SimTime;
+use heterollm::obs::MetricsRegistry;
+use heterollm::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::device::{calibrate_profiles, Device, DeviceProfile};
+use crate::draw;
+use crate::fault::{FaultInjector, FaultPlanConfig};
+use crate::policy::{AdmissionControl, BreakerConfig, RetryPolicy};
+use crate::report::{quantiles_ns, ArmReport, FleetComparison, PriorityStats};
+use crate::workload::{fleet_traffic, FleetRequest, Priority};
+
+/// Draw-offset namespace for candidate sampling (decorrelated from
+/// the fault-plan offsets in [`crate::fault`]).
+const OFF_SELECT: u64 = 9 << 40;
+
+/// Candidates sampled per selection round (power-of-d-choices).
+const SELECT_SAMPLES: u64 = 16;
+
+/// Hard safety cap on dispatch attempts per request (robust arm).
+///
+/// The real bound is the per-request deadline; this cap only bounds
+/// the loop if a zero-delay policy sneaks past the `retry-storm`
+/// lint, and keeps each request inside its private draw namespace
+/// (`MAX_DISPATCHES × SELECT_SAMPLES = 1024` draws per request).
+const MAX_DISPATCHES: u32 = 64;
+
+/// Reference request shape for sizing arrival rate and EWMA seeds.
+const TYPICAL_PROMPT: usize = 272;
+/// Reference decode length for the same.
+const TYPICAL_DECODE: usize = 36;
+
+/// Routing policy under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Naive round-robin: no health, no retry, no shedding.
+    RoundRobin,
+    /// The full robustness toolkit.
+    Robust,
+}
+
+impl RouterPolicy {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::Robust => "robust",
+        }
+    }
+}
+
+/// Configuration of one fleet world.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Run seed (workload, faults, jitter, sampling).
+    pub seed: u64,
+    /// Fleet size.
+    pub devices: usize,
+    /// Requests offered.
+    pub requests: usize,
+    /// Model every device serves.
+    pub model: ModelConfig,
+    /// Target fleet utilization in percent; the arrival rate is
+    /// derived from it and the calibrated mean service time.
+    pub target_busy_pct: u32,
+    /// Retry/backoff/timeout schedule (robust arm).
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning (robust arm).
+    pub breaker: BreakerConfig,
+    /// Load-shedding thresholds (robust arm).
+    pub admission: AdmissionControl,
+    /// Health-probe period: the router's view of reachability lags
+    /// real state by at most this much.
+    pub probe_interval: SimTime,
+    /// Fault-plan shape.
+    pub fault: FaultPlanConfig,
+}
+
+impl FleetConfig {
+    /// The shipped configuration at `seed` with `devices` devices and
+    /// `requests` requests on InternLM-1.8B at ~60% fleet load.
+    pub fn standard(seed: u64, devices: usize, requests: usize) -> Self {
+        Self {
+            seed,
+            devices,
+            requests,
+            model: ModelConfig::internlm_1_8b(),
+            target_busy_pct: 60,
+            retry: RetryPolicy::standard(),
+            breaker: BreakerConfig::standard(),
+            admission: AdmissionControl::standard(),
+            probe_interval: SimTime::from_millis(50),
+            fault: FaultPlanConfig::standard(),
+        }
+    }
+}
+
+/// One materialized fleet world, replayable under any policy.
+pub struct FleetSim {
+    config: FleetConfig,
+    profiles: Vec<DeviceProfile>,
+    requests: Vec<FleetRequest>,
+    injector: FaultInjector,
+    horizon: SimTime,
+    slo_ttft: SimTime,
+    slo_tpot: SimTime,
+    lost_penalty: SimTime,
+}
+
+impl FleetSim {
+    /// Calibrate profiles, generate the seeded workload and fault
+    /// plan, and derive fleet SLOs (3× the slowest profile's quiet
+    /// per-token latencies at a 512-token prompt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no Table-1 SoC yields a usable profile (requires an
+    /// FP16-capable NPU and a fault-free calibration run).
+    pub fn new(config: FleetConfig) -> Self {
+        let profiles = calibrate_profiles(&config.model);
+        assert!(
+            !profiles.is_empty(),
+            "no projectable Table-1 SoC profile calibrated"
+        );
+        let mean_service = profiles
+            .iter()
+            .map(|p| {
+                p.service_estimate(TYPICAL_PROMPT, TYPICAL_DECODE)
+                    .as_nanos()
+            })
+            .sum::<u64>()
+            / profiles.len() as u64;
+        // offered_rate ≈ target_busy × devices / mean_service.
+        let mean_gap = SimTime::from_nanos(
+            (mean_service * 100 / u64::from(config.target_busy_pct).max(1))
+                / config.devices.max(1) as u64,
+        );
+        let requests = fleet_traffic(config.seed, config.requests, mean_gap);
+        let last_arrival = requests.last().map_or(SimTime::ZERO, |r| r.arrival);
+        let horizon = last_arrival + SimTime::from_secs_f64(2.0);
+        let injector = FaultInjector::generate(
+            config.seed,
+            config.devices,
+            &config.model,
+            horizon,
+            &config.fault,
+        );
+        let slowest_prefill = profiles
+            .iter()
+            .map(|p| p.prefill_ns_per_token)
+            .max()
+            .unwrap_or(0);
+        let slowest_decode = profiles
+            .iter()
+            .map(|p| p.decode_ns_per_token)
+            .max()
+            .unwrap_or(0);
+        let slo_ttft = SimTime::from_nanos(3 * slowest_prefill * 512);
+        let slo_tpot = SimTime::from_nanos(3 * slowest_decode);
+        let lost_penalty = SimTime::from_nanos(4 * slo_ttft.as_nanos());
+        Self {
+            config,
+            profiles,
+            requests,
+            injector,
+            horizon,
+            slo_ttft,
+            slo_tpot,
+            lost_penalty,
+        }
+    }
+
+    /// The calibrated profile table.
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
+    /// The generated request stream.
+    pub fn requests(&self) -> &[FleetRequest] {
+        &self.requests
+    }
+
+    /// TTFT SLO, nanoseconds.
+    pub fn slo_ttft(&self) -> SimTime {
+        self.slo_ttft
+    }
+
+    /// TPOT SLO, nanoseconds.
+    pub fn slo_tpot(&self) -> SimTime {
+        self.slo_tpot
+    }
+
+    /// Replay the world under both policies.
+    pub fn compare(&self) -> FleetComparison {
+        FleetComparison {
+            seed: self.config.seed,
+            devices: self.config.devices as u64,
+            requests: self.config.requests as u64,
+            robust: self.run(RouterPolicy::Robust),
+            naive: self.run(RouterPolicy::RoundRobin),
+        }
+    }
+
+    /// The probe-view timestamp for `t`: reality as of the last probe
+    /// tick.
+    fn probe_view(&self, t: SimTime) -> SimTime {
+        let p = self.config.probe_interval.as_nanos().max(1);
+        SimTime::from_nanos(t.as_nanos() / p * p)
+    }
+
+    /// Robust candidate selection: sample [`SELECT_SAMPLES`] seeded
+    /// candidates, drop devices already failed for this request,
+    /// breaker-blocked, or unreachable as of the last health probe,
+    /// and keep the best score. Falls back to a full deterministic
+    /// scan when every sample is filtered (mid-storm).
+    fn select_robust(
+        &self,
+        devices: &mut [Device],
+        req: &FleetRequest,
+        attempt: u32,
+        t: SimTime,
+        failed: &[usize],
+    ) -> Option<usize> {
+        let probe_t = self.probe_view(t);
+        let n = devices.len() as u64;
+        let eval = |idx: usize, devices: &mut [Device]| -> Option<(u64, usize)> {
+            if failed.contains(&idx) {
+                return None;
+            }
+            if !devices[idx].breaker.allows(t) {
+                return None;
+            }
+            if !self.injector.probe_reachable_at(idx, probe_t) {
+                return None;
+            }
+            // Probes measure service speed too: a browned-out device
+            // (thermal throttle, NPU claimed) scores worse by its
+            // probe-observed slowdown, steering load off it.
+            let slow = self.injector.slowdown_at(idx, probe_t);
+            let score = (devices[idx].score(t) as f64 * slow) as u64;
+            Some((score, idx))
+        };
+        let mut best: Option<(u64, usize)> = None;
+        for j in 0..SELECT_SAMPLES {
+            let idx = draw(
+                self.config.seed,
+                OFF_SELECT + req.id * 1024 + u64::from(attempt) * SELECT_SAMPLES + j,
+            ) % n;
+            if let Some(key) = eval(idx as usize, devices) {
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        if best.is_none() {
+            for idx in 0..devices.len() {
+                if let Some(key) = eval(idx, devices) {
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        best.map(|(_, idx)| idx)
+    }
+
+    /// Replay the world under one policy.
+    pub fn run(&self, policy: RouterPolicy) -> ArmReport {
+        let cfg = &self.config;
+        let n = cfg.devices;
+        let mut devices: Vec<Device> = (0..n)
+            .map(|d| {
+                let profile = d % self.profiles.len();
+                let ewma = self.profiles[profile].service_estimate(TYPICAL_PROMPT, TYPICAL_DECODE);
+                Device::new(d as u32, profile, ewma, cfg.breaker)
+            })
+            .collect();
+        let mut router = MetricsRegistry::new();
+        let mut by_priority: Vec<PriorityStats> = Priority::ALL
+            .iter()
+            .map(|&p| PriorityStats::new(p))
+            .collect();
+        let mut releases: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        let mut healthy = n;
+        let mut healthy_tick = u64::MAX;
+        let mut rr_next = 0usize;
+        let (mut served, mut shed, mut lost, mut retries, mut goodput) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+
+        // Naive: one shot. Robust: retry until the per-request
+        // deadline (the lost-penalty point) — the exponential
+        // schedule first, then the capped delay. Fault windows are
+        // finite and much shorter than the deadline, so recovery is
+        // structural, not probabilistic.
+        let budget = match policy {
+            RouterPolicy::RoundRobin => 1,
+            RouterPolicy::Robust => MAX_DISPATCHES,
+        };
+
+        for req in &self.requests {
+            let now = req.arrival;
+            let class = &mut by_priority[req.priority.index()];
+            class.offered += 1;
+            while releases
+                .peek()
+                .is_some_and(|Reverse(r)| *r <= now.as_nanos())
+            {
+                releases.pop();
+            }
+
+            if policy == RouterPolicy::Robust {
+                // Refresh the router's health census once per probe tick.
+                let tick = now.as_nanos() / cfg.probe_interval.as_nanos().max(1);
+                if tick != healthy_tick {
+                    healthy_tick = tick;
+                    let probe_t = self.probe_view(now);
+                    healthy = (0..n)
+                        .filter(|&d| {
+                            devices[d].breaker.allows(probe_t)
+                                && self.injector.probe_reachable_at(d, probe_t)
+                        })
+                        .count();
+                }
+                if cfg
+                    .admission
+                    .should_shed(req.priority, releases.len(), healthy)
+                {
+                    shed += 1;
+                    class.shed += 1;
+                    router.incr(&format!("shed_{}", req.priority.name()), 1);
+                    continue;
+                }
+            }
+
+            let schedule = cfg.retry.schedule(cfg.seed, req.id);
+            let deadline = now + self.lost_penalty;
+            // Delay before the next attempt: the seeded exponential
+            // schedule while it lasts, then the policy's cap.
+            let backoff = |attempt: u32| {
+                schedule
+                    .get(attempt as usize)
+                    .copied()
+                    .unwrap_or(cfg.retry.cap)
+            };
+            let mut t = now;
+            let mut failed: Vec<usize> = Vec::new();
+            let mut done = false;
+            for attempt in 0..budget {
+                if attempt > 0 && t >= deadline {
+                    break;
+                }
+                let picked = match policy {
+                    RouterPolicy::RoundRobin => {
+                        let idx = rr_next % n;
+                        rr_next += 1;
+                        Some(idx)
+                    }
+                    RouterPolicy::Robust => {
+                        self.select_robust(&mut devices, req, attempt, t, &failed)
+                    }
+                };
+                let Some(idx) = picked else {
+                    // Nobody routable right now: wait out the backoff.
+                    t += backoff(attempt);
+                    continue;
+                };
+                if attempt > 0 {
+                    retries += 1;
+                    devices[idx].metrics.incr("retry_dispatches", 1);
+                }
+                let start = t.max(devices[idx].busy_until);
+                let link = self.injector.link_delay_at(idx, start);
+                let profile = &self.profiles[devices[idx].profile];
+                let slowdown = self.injector.slowdown_at(idx, start);
+                let prefill =
+                    SimTime::from_nanos(profile.prefill_ns_per_token * req.prompt_tokens as u64)
+                        .scale(slowdown);
+                let decode =
+                    SimTime::from_nanos(profile.decode_ns_per_token * req.decode_tokens as u64)
+                        .scale(slowdown);
+                let end = start + prefill + decode;
+
+                let faulted = self.injector.link_lost_at(idx, start)
+                    || self.injector.first_downtime_in(idx, start, end).is_some();
+                if faulted {
+                    let fail_at = start + cfg.retry.timeout;
+                    devices[idx].metrics.incr("dispatch_failures", 1);
+                    if policy == RouterPolicy::Robust {
+                        devices[idx].breaker.record_failure(fail_at);
+                    }
+                    failed.push(idx);
+                    t = fail_at + backoff(attempt);
+                    continue;
+                }
+
+                devices[idx].busy_until = end;
+                devices[idx].busy_ns += (end - start).as_nanos();
+                releases.push(Reverse(end.as_nanos()));
+                let ttft = (start - req.arrival) + link + prefill;
+                let tpot = SimTime::from_nanos(decode.as_nanos() / req.decode_tokens.max(1) as u64);
+                devices[idx].metrics.observe("ttft_ns", ttft);
+                devices[idx].metrics.observe("tpot_ns", tpot);
+                devices[idx].metrics.incr("served", 1);
+                devices[idx].observe_latency(prefill + decode);
+                if policy == RouterPolicy::Robust {
+                    devices[idx].breaker.record_success(end);
+                }
+                served += 1;
+                class.served += 1;
+                if ttft <= self.slo_ttft && tpot <= self.slo_tpot {
+                    goodput += 1;
+                    class.slo_met += 1;
+                }
+                done = true;
+                break;
+            }
+            if !done {
+                lost += 1;
+                class.lost += 1;
+                router.incr("lost", 1);
+                // A stranded user never saw a token: record the
+                // penalty deadline so tail quantiles carry the loss.
+                router.observe("ttft_ns", self.lost_penalty);
+            }
+        }
+
+        let breaker_trips: u64 = devices.iter().map(|d| d.breaker.trips()).sum();
+        router.incr("breaker_trips", breaker_trips);
+        router.incr("retries", retries);
+        let mut merged = router;
+        for d in &devices {
+            merged.merge(&d.metrics);
+        }
+        let (ttft_p50, ttft_p99, ttft_p999) = quantiles_ns(&merged, "ttft_ns");
+        let (tpot_p50, tpot_p99, tpot_p999) = quantiles_ns(&merged, "tpot_ns");
+        let busy_total: u64 = devices.iter().map(|d| d.busy_ns).sum();
+        let offered = self.requests.len() as u64;
+        ArmReport {
+            policy: policy.name().to_string(),
+            devices: n as u64,
+            offered,
+            served,
+            shed,
+            lost,
+            retries,
+            breaker_trips,
+            ttft_p50_ns: ttft_p50,
+            ttft_p99_ns: ttft_p99,
+            ttft_p999_ns: ttft_p999,
+            tpot_p50_ns: tpot_p50,
+            tpot_p99_ns: tpot_p99,
+            tpot_p999_ns: tpot_p999,
+            slo_ttft_ns: self.slo_ttft.as_nanos(),
+            slo_tpot_ns: self.slo_tpot.as_nanos(),
+            goodput,
+            attainment_ppm: (goodput * 1_000_000).checked_div(offered).unwrap_or(0),
+            busy_ppm: {
+                let cap = self.horizon.as_nanos().saturating_mul(n as u64).max(1);
+                ((u128::from(busy_total) * 1_000_000) / u128::from(cap)) as u64
+            },
+            by_priority,
+            metrics: merged.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sim(seed: u64) -> FleetSim {
+        FleetSim::new(FleetConfig::standard(seed, 48, 400))
+    }
+
+    #[test]
+    fn same_seed_byte_identical_comparison() {
+        let a = small_sim(42).compare();
+        let b = small_sim(42).compare();
+        assert_eq!(
+            serde_json::to_string(&a).expect("serialize"),
+            serde_json::to_string(&b).expect("serialize")
+        );
+    }
+
+    #[test]
+    fn robust_arm_recovers_everything_round_robin_does_not() {
+        let cmp = small_sim(42).compare();
+        assert_eq!(cmp.robust.lost, 0, "robust arm strands requests");
+        assert!(cmp.naive.lost > 0, "storm never bit the naive arm");
+        assert!(cmp.robust.retries > 0, "retries should fire mid-storm");
+        assert!(cmp.robust.breaker_trips > 0, "breakers should trip");
+    }
+
+    #[test]
+    fn robust_arm_dominates_on_slo_attainment_and_goodput() {
+        let cmp = small_sim(42).compare();
+        assert!(cmp.robust.attainment_ppm > cmp.naive.attainment_ppm);
+        assert!(cmp.robust.goodput > cmp.naive.goodput);
+        assert!(cmp.robust.ttft_p999_ns < cmp.naive.ttft_p999_ns);
+    }
+
+    #[test]
+    fn accounting_balances_per_class_and_fleet_wide() {
+        let cmp = small_sim(7).compare();
+        for arm in [&cmp.robust, &cmp.naive] {
+            assert_eq!(arm.offered, arm.served + arm.shed + arm.lost);
+            let by_class: u64 = arm.by_priority.iter().map(|c| c.offered).sum();
+            assert_eq!(by_class, arm.offered);
+            for c in &arm.by_priority {
+                assert_eq!(c.offered, c.served + c.shed + c.lost);
+            }
+        }
+        // Only the robust arm sheds, and interactive never sheds on
+        // utilization alone.
+        assert_eq!(cmp.naive.shed, 0);
+        assert_eq!(cmp.robust.by_priority[0].class, "interactive");
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests pinning the fleet's statistical and state-machine
+//! contracts:
+//!
+//! - Merged per-device power-of-two histograms report the same
+//!   quantile *bucket* as a sorted-sample oracle over the pooled
+//!   samples, and merging is order-independent (fleet quantiles do
+//!   not depend on device enumeration order).
+//! - Seeded backoff schedules are byte-identical per seed,
+//!   non-decreasing, and their total is bounded by the policy's
+//!   advertised bound.
+//! - The circuit breaker never moves `Open → Closed` without a
+//!   successful half-open probe, for any interleaving of outcomes.
+
+use hetero_fleet::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+use hetero_soc::SimTime;
+use heterollm::obs::metrics::HISTOGRAM_BUCKETS;
+use heterollm::obs::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+/// The bucket an observation lands in (mirrors `Histogram::observe`).
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (63 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Sorted-sample oracle: the value at the same nearest-rank the
+/// histogram quantile uses (`rank = ceil(q · n)`, 1-based).
+fn oracle_rank_value(sorted: &[u64], num: u64, den: u64) -> u64 {
+    let rank = ((u128::from(num) * sorted.len() as u128).div_ceil(u128::from(den))).max(1) as usize;
+    sorted[rank - 1]
+}
+
+fn arb_device_samples() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    // A handful of devices, each with its own latency scale so the
+    // pooled distribution is genuinely multi-modal.
+    proptest::collection::vec(proptest::collection::vec(1u64..1 << 40, 1..40), 1..8)
+}
+
+fn arb_retry_policy() -> impl Strategy<Value = RetryPolicy> {
+    (2u32..8, 1u64..10_000_000, 2u32..6, 0u32..100).prop_map(
+        |(max_attempts, base_ns, factor, jitter_pct)| RetryPolicy {
+            max_attempts,
+            base: SimTime::from_nanos(base_ns),
+            factor,
+            cap: SimTime::from_nanos(base_ns.saturating_mul(50)),
+            jitter_pct,
+            timeout: SimTime::from_millis(250),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fleet quantiles from merged per-device histograms land in the
+    /// same power-of-two bucket as the sorted-sample oracle over the
+    /// pooled samples.
+    #[test]
+    fn merged_quantiles_match_sorted_oracle(per_device in arb_device_samples()) {
+        let mut merged = Histogram::default();
+        let mut pooled: Vec<u64> = Vec::new();
+        for samples in &per_device {
+            let mut h = Histogram::default();
+            for &s in samples {
+                h.observe(SimTime::from_nanos(s));
+                pooled.push(s);
+            }
+            merged.merge(&h);
+        }
+        pooled.sort_unstable();
+        prop_assert_eq!(merged.count(), pooled.len() as u64);
+        for (num, den) in [(50u64, 100u64), (99, 100), (999, 1000)] {
+            let got = merged.quantile_upper_ns(num, den);
+            let want = oracle_rank_value(&pooled, num, den);
+            prop_assert_eq!(
+                bucket_of(got),
+                bucket_of(want),
+                "q={}/{}: histogram said {} (bucket {}), oracle rank value {} (bucket {})",
+                num, den, got, bucket_of(got), want, bucket_of(want)
+            );
+            // The reported value is an upper bound on the oracle.
+            prop_assert!(got >= want.min((1 << HISTOGRAM_BUCKETS) - 1));
+        }
+    }
+
+    /// Histogram merging is order-independent: forward, reverse, and
+    /// re-associated merge orders yield identical registries.
+    #[test]
+    fn histogram_merge_is_order_independent(per_device in arb_device_samples()) {
+        let regs: Vec<MetricsRegistry> = per_device
+            .iter()
+            .enumerate()
+            .map(|(d, samples)| {
+                let mut r = MetricsRegistry::new();
+                r.incr("served", samples.len() as u64);
+                r.incr(&format!("device_{d}"), 1);
+                for &s in samples {
+                    r.observe("ttft_ns", SimTime::from_nanos(s));
+                }
+                r
+            })
+            .collect();
+        let mut forward = MetricsRegistry::new();
+        for r in &regs {
+            forward.merge(r);
+        }
+        let mut reverse = MetricsRegistry::new();
+        for r in regs.iter().rev() {
+            reverse.merge(r);
+        }
+        // Re-associated: pairwise-merge halves, then combine.
+        let mid = regs.len() / 2;
+        let (mut left, mut right) = (MetricsRegistry::new(), MetricsRegistry::new());
+        for r in &regs[..mid] {
+            left.merge(r);
+        }
+        for r in &regs[mid..] {
+            right.merge(r);
+        }
+        left.merge(&right);
+        prop_assert_eq!(forward.snapshot(), reverse.snapshot());
+        prop_assert_eq!(forward.snapshot(), left.snapshot());
+    }
+
+    /// Backoff schedules: same seed byte-identical, delays never
+    /// decrease, and the total never exceeds the advertised bound.
+    #[test]
+    fn backoff_schedule_contracts(
+        policy in arb_retry_policy(),
+        seed in 0u64..u64::MAX,
+        request_id in 0u64..u64::MAX,
+    ) {
+        let a = policy.schedule(seed, request_id);
+        let b = policy.schedule(seed, request_id);
+        prop_assert_eq!(&a, &b, "same seed must replay byte-identically");
+        prop_assert_eq!(a.len(), policy.max_attempts as usize - 1);
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]), "delays decreased: {a:?}");
+        let total: SimTime = a.iter().copied().sum();
+        prop_assert!(total <= policy.total_backoff_bound());
+    }
+
+    /// For any outcome interleaving, the breaker reaches `Closed`
+    /// only from `HalfOpen` via a probe success, and every departure
+    /// from `Open` goes through `HalfOpen`.
+    #[test]
+    fn breaker_never_skips_half_open(
+        threshold in 1u32..5,
+        cooldown_ms in 1u64..500,
+        // Event stream: (advance_ms, outcome) where outcome is
+        // success / failure / bare poll.
+        events in proptest::collection::vec((0u64..300, 0u8..3), 1..60),
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: SimTime::from_millis(cooldown_ms),
+        });
+        let mut now = SimTime::ZERO;
+        for (advance, outcome) in events {
+            now += SimTime::from_millis(advance);
+            match outcome {
+                0 => b.record_success(now),
+                1 => b.record_failure(now),
+                _ => {
+                    b.poll(now);
+                }
+            }
+        }
+        for t in b.transitions() {
+            prop_assert!(
+                !(t.from == BreakerState::Open && t.to == BreakerState::Closed),
+                "illegal Open → Closed at {:?}", t.at
+            );
+            if t.to == BreakerState::Closed {
+                prop_assert_eq!(t.from, BreakerState::HalfOpen);
+            }
+            if t.from == BreakerState::Open {
+                prop_assert_eq!(t.to, BreakerState::HalfOpen);
+            }
+        }
+        // Transition log timestamps never run backwards.
+        prop_assert!(b.transitions().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}
