@@ -34,6 +34,13 @@
 //!   policy against `retry-storm`, then run a seeded fleet comparison
 //!   and check the robust arm's evidence against `shed-starvation`
 //!   (and that no request went unrecovered).
+//! - `monitor [FILE]` — temporal fleet-policy certification: model-check
+//!   the shipped breaker × retry × admission product automaton
+//!   (exact state counts; livelock freedom, bounded retry, Open
+//!   escapability), then sweep the past-time-LTL spec library over a
+//!   fleet event-log pair — either `FILE` (JSON written by
+//!   `fleet_sweep --events-out`) or a fresh seeded in-process run.
+//!   Naive-arm findings are expected evidence; CI greps for them.
 //!
 //! Exit status: 0 when no deny-level finding, 1 otherwise, 2 on usage
 //! errors. CI gates on this.
@@ -50,8 +57,8 @@ use hetero_fleet::{FleetConfig, FleetSim, RetryPolicy};
 use hetero_soc::sync::SyncMechanism;
 use heterollm::ModelConfig;
 
-const USAGE: &str = "usage: analyze [race|explore|integrity|bound|fleet|timeline FILE] [--json] \
-     [--model NAME] [--mechanism fast|driver] [--seq N,N,...] [--rules]";
+const USAGE: &str = "usage: analyze [race|explore|integrity|bound|fleet|monitor [FILE]|timeline \
+     FILE] [--json] [--model NAME] [--mechanism fast|driver] [--seq N,N,...] [--rules]";
 
 #[derive(PartialEq, Eq, Clone)]
 enum Command {
@@ -61,6 +68,7 @@ enum Command {
     Integrity,
     Bound,
     Fleet,
+    Monitor(Option<String>),
     Timeline(String),
 }
 
@@ -86,7 +94,10 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut first = true;
     let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
+    // A flag consumed while probing for `monitor`'s optional
+    // positional gets replayed here.
+    let mut pushed_back: Option<String> = None;
+    while let Some(arg) = pushed_back.take().or_else(|| it.next()) {
         let positional = first && !arg.starts_with('-');
         first = false;
         if positional {
@@ -96,6 +107,18 @@ fn parse_args() -> Result<Args, String> {
                 "integrity" => Command::Integrity,
                 "bound" => Command::Bound,
                 "fleet" => Command::Fleet,
+                "monitor" => {
+                    // Optional positional log file; flags keep parsing.
+                    let path = match it.next() {
+                        Some(next) if !next.starts_with('-') => Some(next),
+                        Some(flag) => {
+                            pushed_back = Some(flag);
+                            None
+                        }
+                        None => None,
+                    };
+                    Command::Monitor(path)
+                }
                 "timeline" => {
                     let path = it.next().ok_or("timeline needs a trace file path")?;
                     Command::Timeline(path)
@@ -256,6 +279,64 @@ fn main() -> ExitCode {
                 &cmp.robust,
                 "fleet[42]/robust",
             ));
+            report
+        }
+        Command::Monitor(path) => {
+            let mut report = hetero_analyze::Report::new();
+            // (c) exhaustive model check of the shipped policy product.
+            let (cert, diags) = hetero_analyze::check_policy_product(
+                &hetero_analyze::PolicyAutomata::standard(),
+                &hetero_analyze::ModelOptions::default(),
+                "PolicyAutomata::standard",
+            );
+            if !args.json {
+                println!(
+                    "model-check[standard]: {} states, {} transitions, max-retry-chain={}, \
+                     livelock-free={}, open-escapable={}, retry-bounded={}{}",
+                    cert.states,
+                    cert.transitions,
+                    cert.max_retry_chain,
+                    cert.livelock_free,
+                    cert.open_escapable,
+                    cert.retry_bounded,
+                    if cert.truncated { " (truncated)" } else { "" },
+                );
+            }
+            report.extend(diags);
+            // (b) pLTL sweep over a log pair: from FILE, or a fresh
+            // seeded in-process run.
+            let pair = match path {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(&path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("cannot read {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    match serde_json::from_str::<hetero_fleet::FleetLogPair>(&text) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            eprintln!("cannot parse {path} as a fleet event-log pair: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                None => {
+                    let sim = FleetSim::new(FleetConfig::standard(42, 64, 600));
+                    sim.compare_events().1
+                }
+            };
+            for log in [&pair.robust, &pair.naive] {
+                let verdict = hetero_analyze::monitor_fleet_log(log);
+                if !args.json {
+                    println!(
+                        "monitor[fleet[{}]/{}]: events={} instances={} violations={}",
+                        log.seed, log.policy, verdict.events, verdict.instances, verdict.violations
+                    );
+                }
+                report.extend(verdict.findings);
+            }
             report
         }
         Command::Bound => {

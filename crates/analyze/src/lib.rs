@@ -34,6 +34,15 @@
 //! | `bound-unsound`      | deny | DES peak bytes and TTFT/TPOT stay inside the static bounds (§4.2, §4.3) |
 //! | `retry-storm`        | deny | fleet retry policies are storm-safe: bounded, backed-off, jittered (§6) |
 //! | `shed-starvation`    | warn | load shedding never starves a class while the fleet is idle (§6) |
+//! | `breaker-skip-probe` | deny | breakers only re-close via a successful half-open probe (§6) |
+//! | `retry-past-deadline` | deny | no dispatch after the request's lost-penalty deadline (§6) |
+//! | `shed-inversion`     | deny | no lower-priority admit while a higher class sheds, same census epoch (§6) |
+//! | `census-staleness`   | warn | routing decisions see a census within the probe contract (§6) |
+//! | `storm-amplification` | deny | in-window retries bounded by K× offered load + slack (§6) |
+//! | `brownout-unshed`    | warn | no blind batch admission mid-storm without shed or fresh census (§6) |
+//! | `policy-livelock`    | deny | every product-automaton state can reach a resolution (§6) |
+//! | `retry-unbounded`    | deny | no failure cycle that never consumes retry budget (§6) |
+//! | `breaker-trap`       | deny | every Open breaker state can escape to HalfOpen (§6) |
 //!
 //! The trace rules ([`timeline`]) re-check exported `--trace-out`
 //! files from the outside — `analyze timeline <FILE>` parses the JSON
@@ -51,6 +60,15 @@
 //! correlated faults, and `shed-starvation` reads a finished fleet
 //! arm report as dynamic evidence that admission control starved a
 //! priority class while capacity sat idle (`analyze fleet` in CI).
+//!
+//! The temporal rules ([`monitor`], [`model_check`]) certify the fleet
+//! layer's *dynamic behaviour*: a past-time-LTL evaluator sweeps a
+//! typed [`hetero_fleet::FleetEventLog`] once against six named specs
+//! (sliced per device, per request, or globally), and a bounded
+//! exhaustive model checker enumerates the
+//! breaker × retry × admission product automaton to prove livelock
+//! freedom, bounded retry, and Open-state escapability with exact
+//! state counts (`analyze monitor` in CI).
 //!
 //! The bound rules ([`bound`]) are the analyzer's cost layer: a
 //! generic join-semilattice worklist interpreter over the submission
@@ -75,6 +93,8 @@ pub mod explore;
 pub mod fallback;
 pub mod fleet;
 pub mod mem;
+pub mod model_check;
+pub mod monitor;
 pub mod plan_rules;
 pub mod race;
 pub mod rules;
@@ -91,6 +111,11 @@ pub use explore::{explore_schedule, DeterminismCertificate, ExploreConfig};
 pub use fallback::check_fallback;
 pub use fleet::{check_fleet_arm, check_retry_policy};
 pub use mem::{check_regions, TensorRegion};
+pub use model_check::{check_policy_product, ModelOptions, PolicyAutomata, ProductCertificate};
+pub use monitor::{
+    monitor_fleet_log, Ltl, LtlMonitor, MonitorVerdict, STORM_AMPLIFICATION_FACTOR,
+    STORM_AMPLIFICATION_SLACK,
+};
 pub use plan_rules::{check_plan, PlanContext};
 pub use race::{check_log, check_schedule_races, log_from_schedule};
 pub use rules::{rule, RuleInfo, RULES};

@@ -1,0 +1,580 @@
+//! Bounded exhaustive model checking of the fleet policy automata.
+//!
+//! [`check_policy_product`] enumerates every reachable state of the
+//! product automaton *request lifecycle × circuit breaker* under a
+//! given [`PolicyAutomata`] (breaker config × retry policy × admission
+//! control) and proves three liveness/boundedness properties with
+//! exact state and transition counts:
+//!
+//! - **no livelock** ([`rules::POLICY_LIVELOCK`]): every reachable
+//!   state can reach a resolution (`Served`, `Shed`, or `Lost`);
+//! - **bounded retry** ([`rules::RETRY_UNBOUNDED`]): no dispatch-fail
+//!   edge sits on a cycle, i.e. no failure loop repeats without
+//!   consuming retry budget (`max_attempts == 0` models "retry
+//!   forever" and is caught here);
+//! - **Open escapability** ([`rules::BREAKER_TRAP`]): every state with
+//!   an `Open` breaker can reach a non-`Open` breaker state.
+//!
+//! The request side abstracts the router's per-request lifecycle:
+//! `Start(p)` (admission decision under every representative census
+//! band), `Admitted{p, attempt}` (dispatch in flight),
+//! `Pending{p, attempt}` (failed, waiting to re-dispatch), and the
+//! three terminal resolutions. Census state is abstracted into
+//! *bands* — one representative `(busy, healthy)` pair per distinct
+//! admission outcome (idle, each shed threshold, total outage) — so
+//! the product stays finite while covering every admission branch.
+//! `NextRequest` edges loop terminals back to `Start` with the breaker
+//! state *preserved*, so breaker behaviour across consecutive requests
+//! is part of the reachable space; these edges are excluded from the
+//! retry-cycle analysis (budget is per request).
+//!
+//! Exploration reuses the truncation discipline of
+//! [`crate::explore::ExploreConfig`]: a hard state cap, an explicit
+//! `truncated` flag in the [`ProductCertificate`], and — when
+//! truncated — *no* property claims (all three proofs report `false`
+//! and no diagnostics are emitted, since the subgraph is incomplete).
+//! Everything is deterministic: states are interned in `BTreeMap`
+//! order and edges dedupe through a `BTreeSet`.
+
+use hetero_fleet::{AdmissionControl, BreakerConfig, Priority, RetryPolicy, MAX_DISPATCHES};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::diag::Diagnostic;
+use crate::rules;
+
+/// The three policy state machines whose product is checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyAutomata {
+    /// Circuit-breaker tuning (threshold, cooldown).
+    pub breaker: BreakerConfig,
+    /// Retry/backoff schedule (only `max_attempts` shapes the graph).
+    pub retry: RetryPolicy,
+    /// Priority shed thresholds (shape the admission bands).
+    pub admission: AdmissionControl,
+}
+
+impl PolicyAutomata {
+    /// The shipped robust-router policy set.
+    pub fn standard() -> Self {
+        Self {
+            breaker: BreakerConfig::standard(),
+            retry: RetryPolicy::standard(),
+            admission: AdmissionControl::standard(),
+        }
+    }
+}
+
+/// Exploration options (the fault-injection knobs exist so tests can
+/// prove the checker *detects* broken automata, not just passes good
+/// ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelOptions {
+    /// Hard cap on interned states; exceeding it sets `truncated`.
+    pub max_states: usize,
+    /// Model the breaker's cooldown → half-open timer edge. Disabling
+    /// it models a breaker with no recovery path.
+    pub cooldown_edges: bool,
+    /// Model the router's lost-penalty deadline edge out of a pending
+    /// retry. Disabling it models a router that waits forever.
+    pub deadline_edges: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        Self {
+            max_states: 1 << 16,
+            cooldown_edges: true,
+            deadline_edges: true,
+        }
+    }
+}
+
+/// Request-lifecycle side of the product state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ReqState {
+    /// Arrived, admission not yet decided (priority index).
+    Start(u8),
+    /// Dispatch `attempt` in flight.
+    Admitted { p: u8, attempt: u32 },
+    /// Dispatch failed, waiting to re-dispatch `attempt`.
+    Pending { p: u8, attempt: u32 },
+    /// Completed within SLO accounting.
+    Served,
+    /// Rejected at admission.
+    Shed,
+    /// Dropped (budget exhausted or deadline).
+    Lost,
+}
+
+/// Breaker side of the product state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Brk {
+    /// Closed with this many consecutive failures (< threshold).
+    Closed(u32),
+    /// Tripped.
+    Open,
+    /// Cooldown elapsed, one probe may pass.
+    HalfOpen,
+}
+
+type State = (ReqState, Brk);
+
+/// Edge labels (dedupe key component; also used to classify fail
+/// edges for the retry-cycle analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EdgeKind {
+    Admit,
+    Shed,
+    DispatchOk,
+    DispatchFail,
+    Redispatch,
+    Cooldown,
+    Deadline,
+    NextRequest,
+}
+
+/// Exact exploration results and property proofs. All counts are
+/// integers and the whole struct serializes deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProductCertificate {
+    /// Reachable product states.
+    pub states: u64,
+    /// Distinct labeled transitions between explored states.
+    pub transitions: u64,
+    /// Whether the state cap cut exploration short (if so, no
+    /// property below is claimed).
+    pub truncated: bool,
+    /// States whose breaker side is `Open`.
+    pub open_states: u64,
+    /// States whose request side is a resolution (served/shed/lost).
+    pub terminal_states: u64,
+    /// Maximum dispatches any single request performs (attempt index
+    /// + 1 over in-flight states).
+    pub max_retry_chain: u32,
+    /// Every reachable state reaches a resolution.
+    pub livelock_free: bool,
+    /// Every `Open`-breaker state reaches a non-`Open` state.
+    pub open_escapable: bool,
+    /// No dispatch-fail edge lies on a per-request cycle.
+    pub retry_bounded: bool,
+}
+
+/// Representative `(busy, healthy)` census bands: one per distinct
+/// admission outcome of the given thresholds.
+fn admission_bands(admission: &AdmissionControl) -> Vec<(usize, usize)> {
+    let mut bands = vec![(0usize, 0usize), (0, 100)];
+    for &pct in &admission.shed_busy_pct {
+        if pct <= 100 {
+            bands.push((pct as usize, 100));
+        }
+    }
+    bands.sort_unstable();
+    bands.dedup();
+    bands
+}
+
+fn brk_on_success(b: Brk) -> Brk {
+    match b {
+        Brk::Closed(_) | Brk::HalfOpen => Brk::Closed(0),
+        Brk::Open => Brk::Open,
+    }
+}
+
+fn brk_on_failure(b: Brk, threshold: u32) -> Brk {
+    match b {
+        Brk::Closed(f) => {
+            if f + 1 >= threshold.max(1) {
+                Brk::Open
+            } else {
+                Brk::Closed(f + 1)
+            }
+        }
+        Brk::HalfOpen => Brk::Open,
+        Brk::Open => Brk::Open,
+    }
+}
+
+fn successors(
+    (req, brk): State,
+    automata: &PolicyAutomata,
+    opts: &ModelOptions,
+    bands: &[(usize, usize)],
+) -> Vec<(EdgeKind, State)> {
+    // Budget: `max_attempts == 0` means retry forever (the attempt
+    // counter then never advances, producing the fail cycle the SCC
+    // pass detects); otherwise capped by the router's hard ceiling.
+    let budget = if automata.retry.max_attempts == 0 {
+        None
+    } else {
+        Some(automata.retry.max_attempts.min(MAX_DISPATCHES))
+    };
+    let mut out = Vec::new();
+    match req {
+        ReqState::Start(p) => {
+            let priority = Priority::ALL[p as usize];
+            for &(busy, healthy) in bands {
+                if automata.admission.should_shed(priority, busy, healthy) {
+                    out.push((EdgeKind::Shed, (ReqState::Shed, brk)));
+                } else if brk == Brk::Open {
+                    out.push((EdgeKind::Admit, (ReqState::Pending { p, attempt: 0 }, brk)));
+                } else {
+                    out.push((EdgeKind::Admit, (ReqState::Admitted { p, attempt: 0 }, brk)));
+                }
+            }
+        }
+        ReqState::Admitted { p, attempt } => {
+            out.push((
+                EdgeKind::DispatchOk,
+                (ReqState::Served, brk_on_success(brk)),
+            ));
+            let brk_f = brk_on_failure(brk, automata.breaker.failure_threshold);
+            let next_req = match budget {
+                None => ReqState::Pending { p, attempt },
+                Some(b) if attempt + 1 >= b => ReqState::Lost,
+                Some(_) => ReqState::Pending {
+                    p,
+                    attempt: attempt + 1,
+                },
+            };
+            out.push((EdgeKind::DispatchFail, (next_req, brk_f)));
+        }
+        ReqState::Pending { p, attempt } => {
+            if brk != Brk::Open {
+                out.push((
+                    EdgeKind::Redispatch,
+                    (ReqState::Admitted { p, attempt }, brk),
+                ));
+            } else if opts.cooldown_edges {
+                out.push((
+                    EdgeKind::Cooldown,
+                    (ReqState::Pending { p, attempt }, Brk::HalfOpen),
+                ));
+            }
+            if opts.deadline_edges {
+                out.push((EdgeKind::Deadline, (ReqState::Lost, brk)));
+            }
+        }
+        ReqState::Served | ReqState::Shed | ReqState::Lost => {
+            for p in 0..Priority::ALL.len() as u8 {
+                out.push((EdgeKind::NextRequest, (ReqState::Start(p), brk)));
+            }
+        }
+    }
+    out
+}
+
+fn is_terminal(req: ReqState) -> bool {
+    matches!(req, ReqState::Served | ReqState::Shed | ReqState::Lost)
+}
+
+/// Tarjan-free SCC via Kosaraju (two BFS-ordered DFS passes,
+/// iterative).
+fn sccs(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut fwd = vec![Vec::new(); n];
+    let mut rev = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        fwd[u].push(v);
+        rev[v].push(u);
+    }
+    // Pass 1: finish order on the forward graph.
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for root in 0..n {
+        if seen[root] {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        seen[root] = true;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            if *i < fwd[u].len() {
+                let v = fwd[u][*i];
+                *i += 1;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                order.push(u);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: components on the reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for &root in order.iter().rev() {
+        if comp[root] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![root];
+        comp[root] = next;
+        while let Some(u) = stack.pop() {
+            for &v in &rev[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Reverse-reachability: the set of nodes that can reach `targets`.
+fn can_reach(n: usize, edges: &[(usize, usize)], targets: &[usize]) -> Vec<bool> {
+    let mut rev = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        rev[v].push(u);
+    }
+    let mut seen = vec![false; n];
+    let mut queue: VecDeque<usize> = targets.iter().copied().collect();
+    for &t in targets {
+        seen[t] = true;
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &rev[u] {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+fn describe((req, brk): &State) -> String {
+    format!("{req:?} x {brk:?}")
+}
+
+/// Exhaustively explore the product automaton and prove (or refute)
+/// livelock freedom, bounded retry, and Open escapability. Returns
+/// the exact-count certificate plus one diagnostic per refuted
+/// property; diagnostics are suppressed (and all proofs report
+/// `false`) when the state cap truncated exploration.
+pub fn check_policy_product(
+    automata: &PolicyAutomata,
+    opts: &ModelOptions,
+    location: &str,
+) -> (ProductCertificate, Vec<Diagnostic>) {
+    let bands = admission_bands(&automata.admission);
+    let mut ids: BTreeMap<State, usize> = BTreeMap::new();
+    let mut states: Vec<State> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut truncated = false;
+
+    // One initial state per priority class, breaker fresh.
+    for p in 0..Priority::ALL.len() as u8 {
+        let s = (ReqState::Start(p), Brk::Closed(0));
+        let id = states.len();
+        ids.insert(s, id);
+        states.push(s);
+        queue.push_back(id);
+    }
+
+    let mut edge_set: BTreeSet<(usize, EdgeKind, usize)> = BTreeSet::new();
+    while let Some(uid) = queue.pop_front() {
+        for (kind, next) in successors(states[uid], automata, opts, &bands) {
+            let vid = match ids.get(&next) {
+                Some(&v) => v,
+                None => {
+                    if states.len() >= opts.max_states {
+                        truncated = true;
+                        continue;
+                    }
+                    let v = states.len();
+                    ids.insert(next, v);
+                    states.push(next);
+                    queue.push_back(v);
+                    v
+                }
+            };
+            edge_set.insert((uid, kind, vid));
+        }
+    }
+
+    let n = states.len();
+    let open_states = states.iter().filter(|(_, b)| *b == Brk::Open).count() as u64;
+    let terminal_states = states.iter().filter(|(r, _)| is_terminal(*r)).count() as u64;
+    let max_retry_chain = states
+        .iter()
+        .filter_map(|(r, _)| match r {
+            ReqState::Admitted { attempt, .. } | ReqState::Pending { attempt, .. } => {
+                Some(attempt + 1)
+            }
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+
+    let mut cert = ProductCertificate {
+        states: n as u64,
+        transitions: edge_set.len() as u64,
+        truncated,
+        open_states,
+        terminal_states,
+        max_retry_chain,
+        livelock_free: false,
+        open_escapable: false,
+        retry_bounded: false,
+    };
+    if truncated {
+        // Incomplete subgraph: claim nothing, flag nothing.
+        return (cert, Vec::new());
+    }
+
+    let all_edges: Vec<(usize, usize)> = edge_set.iter().map(|&(u, _, v)| (u, v)).collect();
+    let per_request_edges: Vec<(usize, usize)> = edge_set
+        .iter()
+        .filter(|&&(_, k, _)| k != EdgeKind::NextRequest)
+        .map(|&(u, _, v)| (u, v))
+        .collect();
+
+    let mut diags = Vec::new();
+    let mut push = |rule_id: &str, message: String| {
+        let info = rules::rule(rule_id).expect("model-check rules are registered");
+        diags.push(Diagnostic {
+            rule_id: rule_id.to_string(),
+            severity: info.severity,
+            location: location.to_string(),
+            message,
+            suggestion: None,
+        });
+    };
+
+    // Livelock freedom: every state reaches a resolution.
+    let resolutions: Vec<usize> = (0..n).filter(|&i| is_terminal(states[i].0)).collect();
+    let reaches = can_reach(n, &all_edges, &resolutions);
+    let stuck: Vec<usize> = (0..n).filter(|&i| !reaches[i]).collect();
+    cert.livelock_free = stuck.is_empty();
+    if let Some(&first) = stuck.first() {
+        push(
+            rules::POLICY_LIVELOCK,
+            format!(
+                "{} state(s) cannot reach served/shed/lost; e.g. {}",
+                stuck.len(),
+                describe(&states[first])
+            ),
+        );
+    }
+
+    // Open escapability: every Open state reaches a non-Open state.
+    let non_open: Vec<usize> = (0..n).filter(|&i| states[i].1 != Brk::Open).collect();
+    let escapes = can_reach(n, &all_edges, &non_open);
+    let trapped: Vec<usize> = (0..n)
+        .filter(|&i| states[i].1 == Brk::Open && !escapes[i])
+        .collect();
+    cert.open_escapable = trapped.is_empty();
+    if let Some(&first) = trapped.first() {
+        push(
+            rules::BREAKER_TRAP,
+            format!(
+                "{} Open-breaker state(s) can never re-close; e.g. {}",
+                trapped.len(),
+                describe(&states[first])
+            ),
+        );
+    }
+
+    // Bounded retry: no fail edge inside a per-request cycle.
+    let comp = sccs(n, &per_request_edges);
+    let cyclic_fail = edge_set
+        .iter()
+        .find(|&&(u, k, v)| k == EdgeKind::DispatchFail && comp[u] == comp[v]);
+    cert.retry_bounded = cyclic_fail.is_none();
+    if let Some(&(u, _, _)) = cyclic_fail {
+        push(
+            rules::RETRY_UNBOUNDED,
+            format!(
+                "dispatch failure repeats without consuming retry budget; cycle through {}",
+                describe(&states[u])
+            ),
+        );
+    }
+
+    (cert, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(automata: PolicyAutomata, opts: ModelOptions) -> (ProductCertificate, Vec<String>) {
+        let (cert, diags) = check_policy_product(&automata, &opts, "test");
+        (cert, diags.into_iter().map(|d| d.rule_id).collect())
+    }
+
+    #[test]
+    fn standard_policies_certify_with_exact_counts() {
+        let (cert, rules_hit) = check(PolicyAutomata::standard(), ModelOptions::default());
+        assert!(rules_hit.is_empty(), "{rules_hit:?}");
+        assert!(!cert.truncated);
+        assert!(cert.livelock_free);
+        assert!(cert.open_escapable);
+        assert!(cert.retry_bounded);
+        assert_eq!(cert.max_retry_chain, 4, "max_attempts dispatches");
+        // Exact reachable product: pinned so any policy or abstraction
+        // change shows up as a diff here.
+        assert_eq!(cert.states, 68);
+        assert_eq!(cert.transitions, 144);
+    }
+
+    #[test]
+    fn unbounded_retry_is_refuted() {
+        let mut automata = PolicyAutomata::standard();
+        automata.retry.max_attempts = 0;
+        let (cert, rules_hit) = check(automata, ModelOptions::default());
+        assert!(!cert.retry_bounded);
+        assert!(rules_hit.contains(&rules::RETRY_UNBOUNDED.to_string()));
+        assert!(cert.livelock_free, "ok edges still resolve requests");
+    }
+
+    #[test]
+    fn missing_cooldown_edge_traps_the_breaker() {
+        let opts = ModelOptions {
+            cooldown_edges: false,
+            ..ModelOptions::default()
+        };
+        let (cert, rules_hit) = check(PolicyAutomata::standard(), opts);
+        assert!(!cert.open_escapable);
+        assert!(rules_hit.contains(&rules::BREAKER_TRAP.to_string()));
+    }
+
+    #[test]
+    fn no_cooldown_and_no_deadline_livelocks() {
+        let opts = ModelOptions {
+            cooldown_edges: false,
+            deadline_edges: false,
+            ..ModelOptions::default()
+        };
+        let (cert, rules_hit) = check(PolicyAutomata::standard(), opts);
+        assert!(!cert.livelock_free);
+        assert!(rules_hit.contains(&rules::POLICY_LIVELOCK.to_string()));
+    }
+
+    #[test]
+    fn truncation_is_flagged_and_claims_nothing() {
+        let opts = ModelOptions {
+            max_states: 10,
+            ..ModelOptions::default()
+        };
+        let (cert, rules_hit) = check(PolicyAutomata::standard(), opts);
+        assert!(cert.truncated);
+        assert_eq!(cert.states, 10);
+        assert!(!cert.livelock_free && !cert.open_escapable && !cert.retry_bounded);
+        assert!(rules_hit.is_empty(), "no claims from a truncated graph");
+    }
+
+    #[test]
+    fn certificate_roundtrips_through_json() {
+        let (cert, _) = check_policy_product(
+            &PolicyAutomata::standard(),
+            &ModelOptions::default(),
+            "test",
+        );
+        let json = serde_json::to_string(&cert).expect("serialize");
+        let back: ProductCertificate = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, cert);
+    }
+}

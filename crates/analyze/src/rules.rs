@@ -75,6 +75,34 @@ pub const RETRY_STORM: &str = "retry-storm";
 /// Rule: no priority class may be starved by load shedding while the
 /// fleet still has idle capacity.
 pub const SHED_STARVATION: &str = "shed-starvation";
+/// Rule (temporal): a breaker may only close after a successful
+/// half-open probe — the event log must show `HalfOpen` immediately
+/// before every `Closed` entry, per device.
+pub const BREAKER_SKIP_PROBE: &str = "breaker-skip-probe";
+/// Rule (temporal): no dispatch may happen after the request's 4×-SLO
+/// lost-penalty deadline.
+pub const RETRY_PAST_DEADLINE: &str = "retry-past-deadline";
+/// Rule (temporal): no lower-priority request may be admitted while a
+/// higher-priority one was shed within the same census epoch.
+pub const SHED_INVERSION: &str = "shed-inversion";
+/// Rule (temporal): every routing decision must act on a census no
+/// older than the probe contract.
+pub const CENSUS_STALENESS: &str = "census-staleness";
+/// Rule (temporal): inside a fault window, retry dispatches must stay
+/// within K× the offered load plus slack.
+pub const STORM_AMPLIFICATION: &str = "storm-amplification";
+/// Rule (temporal): inside a fault window, batch-class admissions
+/// require either a fresh census or prior load shedding.
+pub const BROWNOUT_UNSHED: &str = "brownout-unshed";
+/// Rule (model checker): every non-terminal state of the
+/// breaker×retry×admission product must reach a request resolution.
+pub const POLICY_LIVELOCK: &str = "policy-livelock";
+/// Rule (model checker): no cycle of the product automaton may
+/// contain a dispatch-failure edge (retry chains are bounded).
+pub const RETRY_UNBOUNDED: &str = "retry-unbounded";
+/// Rule (model checker): from every reachable Open-breaker state the
+/// breaker can eventually leave Open.
+pub const BREAKER_TRAP: &str = "breaker-trap";
 
 /// Metadata for one registered rule.
 #[derive(Debug, Clone, Copy)]
@@ -90,7 +118,7 @@ pub struct RuleInfo {
 }
 
 /// All registered rules.
-pub const RULES: [RuleInfo; 24] = [
+pub const RULES: [RuleInfo; 33] = [
     RuleInfo {
         id: SHAPE_CONSERVATION,
         severity: Severity::Deny,
@@ -258,6 +286,71 @@ pub const RULES: [RuleInfo; 24] = [
                   fleet has idle capacity",
         paper: "§6 (fleet serving)",
     },
+    RuleInfo {
+        id: BREAKER_SKIP_PROBE,
+        severity: Severity::Deny,
+        summary: "per device, every logged breaker Closed entry follows a \
+                  successful half-open probe (no Open → Closed shortcut in \
+                  the event log)",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: RETRY_PAST_DEADLINE,
+        severity: Severity::Deny,
+        summary: "no dispatch of a request happens after its 4×-SLO \
+                  lost-penalty deadline",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: SHED_INVERSION,
+        severity: Severity::Deny,
+        summary: "no lower-priority request is admitted while a \
+                  higher-priority one was shed in the same census epoch",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: CENSUS_STALENESS,
+        severity: Severity::Warn,
+        summary: "every routing decision acts on a health census no older \
+                  than the probe contract",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: STORM_AMPLIFICATION,
+        severity: Severity::Deny,
+        summary: "inside any fault window, retry dispatches stay within K× \
+                  the offered load plus a fixed slack",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: BROWNOUT_UNSHED,
+        severity: Severity::Warn,
+        summary: "batch admissions inside a fault window require a \
+                  contract-fresh census or prior shedding since the window \
+                  opened",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: POLICY_LIVELOCK,
+        severity: Severity::Deny,
+        summary: "every reachable breaker×retry×admission product state can \
+                  still reach a request resolution (served/shed/lost)",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: RETRY_UNBOUNDED,
+        severity: Severity::Deny,
+        summary: "no cycle of the policy product automaton contains a \
+                  dispatch-failure edge: every retry chain is finite",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: BREAKER_TRAP,
+        severity: Severity::Deny,
+        summary: "from every reachable Open-breaker product state the \
+                  breaker can eventually leave Open",
+        paper: "§6 (fleet serving)",
+    },
 ];
 
 /// Look up a rule by id.
@@ -305,10 +398,19 @@ mod tests {
             BOUND_UNSOUND,
             RETRY_STORM,
             SHED_STARVATION,
+            BREAKER_SKIP_PROBE,
+            RETRY_PAST_DEADLINE,
+            SHED_INVERSION,
+            CENSUS_STALENESS,
+            STORM_AMPLIFICATION,
+            BROWNOUT_UNSHED,
+            POLICY_LIVELOCK,
+            RETRY_UNBOUNDED,
+            BREAKER_TRAP,
         ] {
             assert!(rule(id).is_some(), "{id} missing from RULES");
         }
-        assert_eq!(RULES.len(), 24, "registry and const list out of sync");
+        assert_eq!(RULES.len(), 33, "registry and const list out of sync");
     }
 
     #[test]
@@ -324,6 +426,24 @@ mod tests {
     fn fleet_rule_severities() {
         assert_eq!(rule(RETRY_STORM).unwrap().severity, Severity::Deny);
         assert_eq!(rule(SHED_STARVATION).unwrap().severity, Severity::Warn);
+    }
+
+    #[test]
+    fn monitor_rule_severities() {
+        for id in [
+            BREAKER_SKIP_PROBE,
+            RETRY_PAST_DEADLINE,
+            SHED_INVERSION,
+            STORM_AMPLIFICATION,
+            POLICY_LIVELOCK,
+            RETRY_UNBOUNDED,
+            BREAKER_TRAP,
+        ] {
+            assert_eq!(rule(id).unwrap().severity, Severity::Deny, "{id}");
+        }
+        for id in [CENSUS_STALENESS, BROWNOUT_UNSHED] {
+            assert_eq!(rule(id).unwrap().severity, Severity::Warn, "{id}");
+        }
     }
 
     #[test]

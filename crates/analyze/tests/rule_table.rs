@@ -1,0 +1,98 @@
+//! Drift test between the rule registry and the design doc.
+//!
+//! Both directions:
+//!
+//! 1. every rule in [`hetero_analyze::RULES`] is documented in
+//!    `DESIGN.md` (as a backticked `` `rule-id` `` mention — table row
+//!    or prose), and
+//! 2. every severity-tagged rule-table row in `DESIGN.md`
+//!    (``| `rule-id` | deny|warn | ...``) names a registered rule and
+//!    agrees with the registry's severity.
+//!
+//! So adding a rule without documenting it, documenting a rule that
+//! doesn't exist, or letting a documented severity rot all fail CI.
+
+use hetero_analyze::RULES;
+
+fn design_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    std::fs::read_to_string(path).expect("DESIGN.md at the repo root")
+}
+
+/// `(rule_id, severity)` pairs from every DESIGN.md table row shaped
+/// like ``| `rule-id` | deny | ...``.
+fn table_rows(doc: &str) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let Some((id, rest)) = rest.split_once('`') else {
+            continue;
+        };
+        let Some(rest) = rest.strip_prefix(" | ") else {
+            continue;
+        };
+        let Some((severity, _)) = rest.split_once(' ') else {
+            continue;
+        };
+        if severity == "deny" || severity == "warn" {
+            rows.push((id.to_string(), severity.to_string()));
+        }
+    }
+    rows
+}
+
+#[test]
+fn every_registered_rule_is_documented() {
+    let doc = design_md();
+    let missing: Vec<&str> = RULES
+        .iter()
+        .map(|r| r.id)
+        .filter(|id| !doc.contains(&format!("`{id}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "rules registered but not documented in DESIGN.md: {missing:?}"
+    );
+}
+
+#[test]
+fn every_documented_table_row_matches_the_registry() {
+    let doc = design_md();
+    let rows = table_rows(&doc);
+    assert!(!rows.is_empty(), "no rule-table rows found in DESIGN.md");
+    for (id, documented_severity) in rows {
+        let info = hetero_analyze::rule(&id)
+            .unwrap_or_else(|| panic!("DESIGN.md documents unregistered rule `{id}`"));
+        assert_eq!(
+            info.severity.to_string(),
+            documented_severity,
+            "DESIGN.md severity for `{id}` disagrees with the registry"
+        );
+    }
+}
+
+#[test]
+fn monitor_rules_have_a_dedicated_table_row() {
+    // The temporal-certification section must carry full table rows
+    // (not just prose mentions) for each monitor/model-check rule.
+    let doc = design_md();
+    let rows = table_rows(&doc);
+    for id in [
+        "breaker-skip-probe",
+        "retry-past-deadline",
+        "shed-inversion",
+        "census-staleness",
+        "storm-amplification",
+        "brownout-unshed",
+        "policy-livelock",
+        "retry-unbounded",
+        "breaker-trap",
+    ] {
+        assert!(
+            rows.iter().any(|(rid, _)| rid == id),
+            "missing DESIGN.md table row for `{id}`"
+        );
+    }
+}

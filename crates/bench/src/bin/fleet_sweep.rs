@@ -19,21 +19,28 @@
 //!
 //! Flags: `--seed N` (default 42), `--devices N` (default 256),
 //! `--requests N` (default 3000), `--json` (print the
-//! machine-readable comparison on stdout), `--analyze` (standard
-//! pre-experiment solver lint).
+//! machine-readable comparison on stdout), `--events-out FILE` (also
+//! record the typed fleet event-log pair, write it as JSON, and gate
+//! the arms through the past-time-LTL monitor: robust must certify
+//! clean, round-robin must reproduce its known violations),
+//! `--analyze` (standard pre-experiment solver lint).
 
 use hetero_bench::{save_json, Table};
-use hetero_fleet::{FleetComparison, FleetConfig, FleetSim, RetryPolicy};
+use hetero_fleet::{FleetComparison, FleetConfig, FleetLogPair, FleetSim, RetryPolicy};
 
 struct Args {
     seed: u64,
     devices: usize,
     requests: usize,
     json: bool,
+    events_out: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: fleet_sweep [--seed N] [--devices N] [--requests N] [--json] [--analyze]");
+    eprintln!(
+        "usage: fleet_sweep [--seed N] [--devices N] [--requests N] [--json] \
+         [--events-out FILE] [--analyze]"
+    );
     std::process::exit(2);
 }
 
@@ -43,6 +50,7 @@ fn parse_args() -> Args {
         devices: 256,
         requests: 3000,
         json: false,
+        events_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,6 +64,7 @@ fn parse_args() -> Args {
                 args.requests = hetero_bench::parse_flag("fleet_sweep", "--requests", &value());
             }
             "--json" => args.json = true,
+            "--events-out" => args.events_out = Some(value()),
             "--analyze" => {} // consumed by maybe_analyze
             _ => usage(),
         }
@@ -134,6 +143,36 @@ fn fleet_lint(cmp: &FleetComparison) {
     );
 }
 
+/// Temporal certification gate over the recorded event-log pair: the
+/// robust arm must sweep clean through every past-time-LTL spec, and
+/// the round-robin arm must reproduce its two known violations (no
+/// census contract, blind batch admission mid-storm) — so the monitor
+/// is continuously proven able to detect what the naive design does
+/// wrong, not just to pass the good one.
+fn monitor_gate(pair: &FleetLogPair) {
+    let robust = hetero_analyze::monitor_fleet_log(&pair.robust);
+    assert!(
+        robust.findings.is_empty(),
+        "robust arm violated temporal specs: {:?}",
+        robust.findings
+    );
+    let naive = hetero_analyze::monitor_fleet_log(&pair.naive);
+    for expected in [
+        hetero_analyze::rules::CENSUS_STALENESS,
+        hetero_analyze::rules::BROWNOUT_UNSHED,
+    ] {
+        assert!(
+            naive.findings.iter().any(|d| d.rule_id == expected),
+            "round-robin arm no longer trips `{expected}`; naive-violation evidence lost"
+        );
+    }
+    println!(
+        "temporal monitor: robust clean ({} events, {} spec instances); round-robin \
+         violates [census-staleness, brownout-unshed] [verified]",
+        robust.events, robust.instances
+    );
+}
+
 fn main() {
     hetero_bench::maybe_help(
         "fleet_sweep",
@@ -143,6 +182,10 @@ fn main() {
             ("--devices N", "fleet size (default 256)"),
             ("--requests N", "requests offered (default 3000)"),
             ("--json", "print the machine-readable comparison on stdout"),
+            (
+                "--events-out FILE",
+                "record the typed event-log pair as JSON and run the temporal monitor gate",
+            ),
         ],
     );
     hetero_bench::maybe_analyze();
@@ -165,7 +208,14 @@ fn main() {
         );
     }
     println!();
-    let cmp = sim.compare();
+    // Event recording is opt-in and purely observational: the default
+    // path must keep producing byte-identical reports.
+    let (cmp, pair) = if args.events_out.is_some() {
+        let (cmp, pair) = sim.compare_events();
+        (cmp, Some(pair))
+    } else {
+        (sim.compare(), None)
+    };
 
     let (r, n) = (&cmp.robust, &cmp.naive);
     let mut t = Table::new(&["metric", "robust", "round-robin"]);
@@ -212,6 +262,13 @@ fn main() {
          strictly better than round-robin [verified]"
     );
     fleet_lint(&cmp);
+    if let (Some(path), Some(pair)) = (&args.events_out, &pair) {
+        let mut text = serde_json::to_string(pair).expect("serialize event-log pair");
+        text.push('\n');
+        std::fs::write(path, text).expect("write event log");
+        println!("events: wrote {path}");
+        monitor_gate(pair);
+    }
 
     if args.json {
         println!(

@@ -88,6 +88,7 @@ pub struct FaultInjector {
     loss: Vec<Vec<Window>>,
     timelines: Vec<Option<Timeline>>,
     restart_cost: SimTime,
+    storms: Vec<Window>,
 }
 
 impl FaultInjector {
@@ -107,11 +108,15 @@ impl FaultInjector {
         let mut loss = vec![Vec::new(); devices];
         let mut timelines = vec![None; devices];
 
-        // Correlated storms: one instant, a seeded device subset.
+        // Correlated storms: one instant, a seeded device subset. The
+        // fleet-wide window is recorded even when the draw happens to
+        // select no device — the storm is a world-level occurrence.
+        let mut storms = Vec::new();
         for k in 0..u64::from(cfg.storms) {
             let nominal = h * (k + 1) / (u64::from(cfg.storms) + 1);
             let jitter = draw(seed, OFF_STORM + k) % (h / 20 + 1);
             let at = SimTime::from_nanos(nominal.saturating_sub(jitter));
+            storms.push((at, at + cfg.storm_duration + restart_cost));
             for (d, down) in downtime.iter_mut().enumerate() {
                 let pick = draw(seed, OFF_STORM + 64 + k * devices as u64 + d as u64) % 100;
                 if (pick as u32) < cfg.storm_fraction_pct {
@@ -153,13 +158,21 @@ impl FaultInjector {
         for windows in downtime.iter_mut().chain(loss.iter_mut()) {
             windows.sort_by_key(|w| (w.0, w.1));
         }
+        storms.sort_by_key(|w| (w.0, w.1));
         Self {
             downtime,
             delay,
             loss,
             timelines,
             restart_cost,
+            storms,
         }
+    }
+
+    /// The fleet-wide correlated storm windows `[start, end)` (crash
+    /// plus cold-start replay), sorted by start.
+    pub fn storm_windows(&self) -> &[(SimTime, SimTime)] {
+        &self.storms
     }
 
     /// Cold-start replay cost appended to every crash window.

@@ -38,6 +38,7 @@
 //! serialize byte-identically (CI `cmp`s two runs).
 
 pub mod device;
+pub mod events;
 pub mod fault;
 pub mod policy;
 pub mod report;
@@ -45,12 +46,14 @@ pub mod router;
 pub mod workload;
 
 pub use device::{calibrate_profiles, Device, DeviceProfile};
+pub use events::{FleetEvent, FleetEventLog, FleetLogPair, EVENT_LOG_VERSION};
 pub use fault::{FaultInjector, FaultPlanConfig};
 pub use policy::{
-    AdmissionControl, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy,
+    AdmissionControl, BreakerCause, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker,
+    RetryPolicy,
 };
 pub use report::{ArmReport, FleetComparison, PriorityStats};
-pub use router::{FleetConfig, FleetSim, RouterPolicy};
+pub use router::{FleetConfig, FleetSim, RouterPolicy, MAX_DISPATCHES};
 pub use workload::{fleet_traffic, FleetRequest, Priority};
 
 /// The `i`-th draw of a splitmix64 stream over `seed` (the same

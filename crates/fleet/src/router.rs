@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::device::{calibrate_profiles, Device, DeviceProfile};
 use crate::draw;
+use crate::events::{FleetEvent, FleetEventLog, FleetLogPair, EVENT_LOG_VERSION};
 use crate::fault::{FaultInjector, FaultPlanConfig};
 use crate::policy::{AdmissionControl, BreakerConfig, RetryPolicy};
 use crate::report::{quantiles_ns, ArmReport, FleetComparison, PriorityStats};
@@ -49,7 +50,9 @@ const SELECT_SAMPLES: u64 = 16;
 /// the loop if a zero-delay policy sneaks past the `retry-storm`
 /// lint, and keeps each request inside its private draw namespace
 /// (`MAX_DISPATCHES × SELECT_SAMPLES = 1024` draws per request).
-const MAX_DISPATCHES: u32 = 64;
+/// Public so the `hetero_analyze` model checker explores the same
+/// attempt budget the replay loop enforces.
+pub const MAX_DISPATCHES: u32 = 64;
 
 /// Reference request shape for sizing arrival rate and EWMA seeds.
 const TYPICAL_PROMPT: usize = 272;
@@ -227,6 +230,27 @@ impl FleetSim {
         }
     }
 
+    /// Replay the world under both policies while recording typed
+    /// event logs. The reports are byte-identical to [`Self::compare`]
+    /// — recording is purely observational.
+    pub fn compare_events(&self) -> (FleetComparison, FleetLogPair) {
+        let (robust, robust_log) = self.run_events(RouterPolicy::Robust);
+        let (naive, naive_log) = self.run_events(RouterPolicy::RoundRobin);
+        (
+            FleetComparison {
+                seed: self.config.seed,
+                devices: self.config.devices as u64,
+                requests: self.config.requests as u64,
+                robust,
+                naive,
+            },
+            FleetLogPair {
+                robust: robust_log,
+                naive: naive_log,
+            },
+        )
+    }
+
     /// The probe-view timestamp for `t`: reality as of the last probe
     /// tick.
     fn probe_view(&self, t: SimTime) -> SimTime {
@@ -292,6 +316,43 @@ impl FleetSim {
 
     /// Replay the world under one policy.
     pub fn run(&self, policy: RouterPolicy) -> ArmReport {
+        self.replay(policy, None).0
+    }
+
+    /// Replay the world under one policy while recording the typed
+    /// event log. The report is byte-identical to [`Self::run`].
+    pub fn run_events(&self, policy: RouterPolicy) -> (ArmReport, FleetEventLog) {
+        let log = FleetEventLog {
+            version: EVENT_LOG_VERSION,
+            seed: self.config.seed,
+            policy: policy.name().to_string(),
+            devices: self.config.devices as u64,
+            requests: self.config.requests as u64,
+            slo_ttft_ns: self.slo_ttft.as_nanos(),
+            deadline_ns: self.lost_penalty.as_nanos(),
+            census_interval_ns: self.config.probe_interval.as_nanos(),
+            events: Vec::new(),
+        };
+        let (report, log) = self.replay(policy, Some(log));
+        (report, log.expect("recording replay returns its log"))
+    }
+
+    /// Push `ev` onto the log when recording is on.
+    fn emit(log: &mut Option<FleetEventLog>, ev: FleetEvent) {
+        if let Some(l) = log.as_mut() {
+            l.events.push(ev);
+        }
+    }
+
+    /// The replay loop shared by [`Self::run`] (no log) and
+    /// [`Self::run_events`] (recording). Recording never touches the
+    /// draw streams or any routing state, so the returned report does
+    /// not depend on whether a log is attached.
+    fn replay(
+        &self,
+        policy: RouterPolicy,
+        mut log: Option<FleetEventLog>,
+    ) -> (ArmReport, Option<FleetEventLog>) {
         let cfg = &self.config;
         let n = cfg.devices;
         let mut devices: Vec<Device> = (0..n)
@@ -323,10 +384,63 @@ impl FleetSim {
             RouterPolicy::Robust => MAX_DISPATCHES,
         };
 
+        if log.is_some() {
+            // World-level fault windows exist under either policy.
+            for (k, &(open, close)) in self.injector.storm_windows().iter().enumerate() {
+                Self::emit(
+                    &mut log,
+                    FleetEvent::FaultOpen {
+                        at: open,
+                        storm: k as u32,
+                    },
+                );
+                Self::emit(
+                    &mut log,
+                    FleetEvent::FaultClose {
+                        at: close,
+                        storm: k as u32,
+                    },
+                );
+            }
+            // The probe subsystem ticks on its own clock regardless of
+            // traffic; record its census at every tick through the
+            // last instant a deadline-bounded retry can still fire.
+            // Only the robust router runs probes at all.
+            if policy == RouterPolicy::Robust {
+                let period = cfg.probe_interval.as_nanos().max(1);
+                let end = self.horizon.as_nanos() + self.lost_penalty.as_nanos();
+                let mut tick_ns = 0u64;
+                while tick_ns <= end {
+                    let probe_t = SimTime::from_nanos(tick_ns);
+                    let reachable = (0..n)
+                        .filter(|&d| self.injector.probe_reachable_at(d, probe_t))
+                        .count();
+                    Self::emit(
+                        &mut log,
+                        FleetEvent::CensusRefresh {
+                            at: probe_t,
+                            healthy: reachable as u64,
+                        },
+                    );
+                    tick_ns += period;
+                }
+            }
+        }
+
         for req in &self.requests {
             let now = req.arrival;
             let class = &mut by_priority[req.priority.index()];
             class.offered += 1;
+            Self::emit(
+                &mut log,
+                FleetEvent::Offered {
+                    at: now,
+                    req: req.id,
+                    priority: req.priority,
+                    prompt_tokens: req.prompt_tokens as u64,
+                    decode_tokens: req.decode_tokens as u64,
+                },
+            );
             while releases
                 .peek()
                 .is_some_and(|Reverse(r)| *r <= now.as_nanos())
@@ -354,6 +468,14 @@ impl FleetSim {
                     shed += 1;
                     class.shed += 1;
                     router.incr(&format!("shed_{}", req.priority.name()), 1);
+                    Self::emit(
+                        &mut log,
+                        FleetEvent::Shed {
+                            at: now,
+                            req: req.id,
+                            priority: req.priority,
+                        },
+                    );
                     continue;
                 }
             }
@@ -387,13 +509,35 @@ impl FleetSim {
                 };
                 let Some(idx) = picked else {
                     // Nobody routable right now: wait out the backoff.
-                    t += backoff(attempt);
+                    let delay = backoff(attempt);
+                    if attempt + 1 < budget {
+                        Self::emit(
+                            &mut log,
+                            FleetEvent::Retry {
+                                at: t,
+                                req: req.id,
+                                attempt: attempt + 1,
+                                delay,
+                            },
+                        );
+                    }
+                    t += delay;
                     continue;
                 };
                 if attempt > 0 {
                     retries += 1;
                     devices[idx].metrics.incr("retry_dispatches", 1);
                 }
+                Self::emit(
+                    &mut log,
+                    FleetEvent::Dispatch {
+                        at: t,
+                        req: req.id,
+                        device: idx as u64,
+                        attempt,
+                        priority: req.priority,
+                    },
+                );
                 let start = t.max(devices[idx].busy_until);
                 let link = self.injector.link_delay_at(idx, start);
                 let profile = &self.profiles[devices[idx].profile];
@@ -415,7 +559,28 @@ impl FleetSim {
                         devices[idx].breaker.record_failure(fail_at);
                     }
                     failed.push(idx);
-                    t = fail_at + backoff(attempt);
+                    Self::emit(
+                        &mut log,
+                        FleetEvent::DispatchFail {
+                            at: fail_at,
+                            req: req.id,
+                            device: idx as u64,
+                            attempt,
+                        },
+                    );
+                    let delay = backoff(attempt);
+                    if attempt + 1 < budget {
+                        Self::emit(
+                            &mut log,
+                            FleetEvent::Retry {
+                                at: fail_at,
+                                req: req.id,
+                                attempt: attempt + 1,
+                                delay,
+                            },
+                        );
+                    }
+                    t = fail_at + delay;
                     continue;
                 }
 
@@ -431,6 +596,16 @@ impl FleetSim {
                 if policy == RouterPolicy::Robust {
                     devices[idx].breaker.record_success(end);
                 }
+                Self::emit(
+                    &mut log,
+                    FleetEvent::Complete {
+                        at: end,
+                        req: req.id,
+                        device: idx as u64,
+                        ttft,
+                        tpot,
+                    },
+                );
                 served += 1;
                 class.served += 1;
                 if ttft <= self.slo_ttft && tpot <= self.slo_tpot {
@@ -447,6 +622,35 @@ impl FleetSim {
                 // A stranded user never saw a token: record the
                 // penalty deadline so tail quantiles carry the loss.
                 router.observe("ttft_ns", self.lost_penalty);
+                Self::emit(
+                    &mut log,
+                    FleetEvent::Lost {
+                        at: deadline,
+                        req: req.id,
+                    },
+                );
+            }
+        }
+
+        if log.is_some() {
+            // Drain the typed breaker transition logs into the event
+            // stream, then fix canonical order once.
+            for (di, d) in devices.iter().enumerate() {
+                for tr in d.breaker.transitions() {
+                    Self::emit(
+                        &mut log,
+                        FleetEvent::Breaker {
+                            at: tr.at,
+                            device: di as u64,
+                            from: tr.from,
+                            to: tr.to,
+                            cause: tr.cause,
+                        },
+                    );
+                }
+            }
+            if let Some(l) = log.as_mut() {
+                l.normalize();
             }
         }
 
@@ -461,7 +665,7 @@ impl FleetSim {
         let (tpot_p50, tpot_p99, tpot_p999) = quantiles_ns(&merged, "tpot_ns");
         let busy_total: u64 = devices.iter().map(|d| d.busy_ns).sum();
         let offered = self.requests.len() as u64;
-        ArmReport {
+        let report = ArmReport {
             policy: policy.name().to_string(),
             devices: n as u64,
             offered,
@@ -486,7 +690,8 @@ impl FleetSim {
             },
             by_priority,
             metrics: merged.snapshot(),
-        }
+        };
+        (report, log)
     }
 }
 

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Fleet temporal-certification benchmark: run the seeded fleet sweep
+# with event recording, sweep both arms through the past-time-LTL
+# monitor (plus the policy model check), and write BENCH_fleet.json —
+# all-integer wall times, monitored-event counts, and throughput. CI
+# runs this after the build and uploads the JSON as an artifact; run
+# locally with
+#   ./scripts/bench_fleet.sh
+# Knobs: DEVICES / REQUESTS / SEED / OUT environment variables.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DEVICES="${DEVICES:-256}"
+REQUESTS="${REQUESTS:-3000}"
+SEED="${SEED:-42}"
+OUT="${OUT:-BENCH_fleet.json}"
+
+SWEEP=target/release/fleet_sweep
+ANALYZE=target/release/analyze
+if [ ! -x "$SWEEP" ] || [ ! -x "$ANALYZE" ]; then
+    cargo build --release -p hetero-bench -p hetero-analyze
+fi
+
+events="$(mktemp)"
+trap 'rm -f "$events"' EXIT
+
+t0=$(date +%s%N)
+"$SWEEP" --seed "$SEED" --devices "$DEVICES" --requests "$REQUESTS" \
+    --events-out "$events" > /dev/null
+t1=$(date +%s%N)
+monitor_out="$("$ANALYZE" monitor "$events")"
+t2=$(date +%s%N)
+
+# Parse the analyzer's stats lines, e.g.
+#   model-check[standard]: 68 states, 144 transitions, ...
+#   monitor[fleet[42]/robust]: events=10291 instances=3068 violations=0
+robust_events=$(printf '%s\n' "$monitor_out" | sed -n 's|.*/robust\]: events=\([0-9]*\).*|\1|p')
+robust_instances=$(printf '%s\n' "$monitor_out" | sed -n 's|.*/robust\]: .*instances=\([0-9]*\).*|\1|p')
+robust_violations=$(printf '%s\n' "$monitor_out" | sed -n 's|.*/robust\]: .*violations=\([0-9]*\).*|\1|p')
+naive_events=$(printf '%s\n' "$monitor_out" | sed -n 's|.*/round-robin\]: events=\([0-9]*\).*|\1|p')
+naive_violations=$(printf '%s\n' "$monitor_out" | sed -n 's|.*/round-robin\]: .*violations=\([0-9]*\).*|\1|p')
+model_states=$(printf '%s\n' "$monitor_out" | sed -n 's|^model-check\[standard\]: \([0-9]*\) states.*|\1|p')
+model_transitions=$(printf '%s\n' "$monitor_out" | sed -n 's|^model-check\[standard\]: .* \([0-9]*\) transitions.*|\1|p')
+
+for var in robust_events robust_instances robust_violations naive_events \
+    naive_violations model_states model_transitions; do
+    if [ -z "${!var}" ]; then
+        echo "bench_fleet: failed to parse $var from analyze monitor output" >&2
+        printf '%s\n' "$monitor_out" >&2
+        exit 1
+    fi
+done
+
+sweep_wall_ns=$((t1 - t0))
+monitor_wall_ns=$((t2 - t1))
+monitored_events=$((robust_events + naive_events))
+if [ "$monitor_wall_ns" -gt 0 ]; then
+    # Throughput of the certification pass (model check + both arms).
+    events_per_sec=$((monitored_events * 1000000000 / monitor_wall_ns))
+else
+    events_per_sec=0
+fi
+
+cat > "$OUT" <<EOF
+{
+  "bench": "fleet_temporal_certification",
+  "seed": $SEED,
+  "devices": $DEVICES,
+  "requests": $REQUESTS,
+  "sweep_wall_ns": $sweep_wall_ns,
+  "monitor_wall_ns": $monitor_wall_ns,
+  "monitored_events": $monitored_events,
+  "robust_events": $robust_events,
+  "robust_instances": $robust_instances,
+  "robust_violations": $robust_violations,
+  "naive_events": $naive_events,
+  "naive_violations": $naive_violations,
+  "model_states": $model_states,
+  "model_transitions": $model_transitions,
+  "monitor_events_per_sec": $events_per_sec
+}
+EOF
+
+echo "bench_fleet: wrote $OUT"
+cat "$OUT"
