@@ -34,13 +34,16 @@
 //!   policy against `retry-storm`, then run a seeded fleet comparison
 //!   and check the robust arm's evidence against `shed-starvation`
 //!   (and that no request went unrecovered).
-//! - `monitor [FILE]` — temporal fleet-policy certification: model-check
-//!   the shipped breaker × retry × admission product automaton
-//!   (exact state counts; livelock freedom, bounded retry, Open
-//!   escapability), then sweep the past-time-LTL spec library over a
-//!   fleet event-log pair — either `FILE` (JSON written by
-//!   `fleet_sweep --events-out`) or a fresh seeded in-process run.
-//!   Naive-arm findings are expected evidence; CI greps for them.
+//! - `monitor [FILE|-]` — temporal fleet-policy certification:
+//!   model-check the shipped breaker × retry × admission product
+//!   automaton (exact state counts; livelock freedom, bounded retry,
+//!   Open escapability) and the staged-rollout ladder (promotion
+//!   reachable, rollback reachable from every non-terminal state),
+//!   then sweep the past-time-LTL spec library over fleet event logs —
+//!   `FILE` (JSON written by `fleet_sweep --events-out` or
+//!   `rollout_sweep --events-out`), `-` for the same JSON on stdin, or
+//!   a fresh seeded in-process run. Naive-arm findings are expected
+//!   evidence; CI greps for them.
 //!
 //! Exit status: 0 when no deny-level finding, 1 otherwise, 2 on usage
 //! errors. CI gates on this.
@@ -57,7 +60,7 @@ use hetero_fleet::{FleetConfig, FleetSim, RetryPolicy};
 use hetero_soc::sync::SyncMechanism;
 use heterollm::ModelConfig;
 
-const USAGE: &str = "usage: analyze [race|explore|integrity|bound|fleet|monitor [FILE]|timeline \
+const USAGE: &str = "usage: analyze [race|explore|integrity|bound|fleet|monitor [FILE|-]|timeline \
      FILE] [--json] [--model NAME] [--mechanism fast|driver] [--seq N,N,...] [--rules]";
 
 #[derive(PartialEq, Eq, Clone)]
@@ -108,9 +111,10 @@ fn parse_args() -> Result<Args, String> {
                 "bound" => Command::Bound,
                 "fleet" => Command::Fleet,
                 "monitor" => {
-                    // Optional positional log file; flags keep parsing.
+                    // Optional positional log file (`-` = stdin);
+                    // flags keep parsing.
                     let path = match it.next() {
-                        Some(next) if !next.starts_with('-') => Some(next),
+                        Some(next) if next == "-" || !next.starts_with('-') => Some(next),
                         Some(flag) => {
                             pushed_back = Some(flag);
                             None
@@ -303,31 +307,67 @@ fn main() -> ExitCode {
                 );
             }
             report.extend(diags);
-            // (b) pLTL sweep over a log pair: from FILE, or a fresh
+            // Same treatment for the staged-rollout ladder.
+            let (rollout_cert, rollout_diags) = hetero_analyze::check_rollout_product(
+                &hetero_analyze::RolloutAutomata::standard(),
+                &hetero_analyze::RolloutOptions::default(),
+                "RolloutAutomata::standard",
+            );
+            if !args.json {
+                println!(
+                    "model-check[rollout]: {} states, {} transitions, promote-reachable={}, \
+                     rollback-reachable={}",
+                    rollout_cert.states,
+                    rollout_cert.transitions,
+                    rollout_cert.promote_reachable,
+                    rollout_cert.rollback_reachable,
+                );
+            }
+            report.extend(rollout_diags);
+            // (b) pLTL sweep over event logs: from FILE (a fleet log
+            // pair or a rollout log set), stdin (`-`), or a fresh
             // seeded in-process run.
-            let pair = match path {
+            let logs: Vec<hetero_fleet::FleetEventLog> = match path {
                 Some(path) => {
-                    let text = match std::fs::read_to_string(&path) {
-                        Ok(t) => t,
-                        Err(e) => {
-                            eprintln!("cannot read {path}: {e}");
-                            return ExitCode::from(2);
+                    let text = if path == "-" {
+                        match std::io::read_to_string(std::io::stdin()) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("cannot read stdin: {e}");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    } else {
+                        match std::fs::read_to_string(&path) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("cannot read {path}: {e}");
+                                return ExitCode::from(2);
+                            }
                         }
                     };
-                    match serde_json::from_str::<hetero_fleet::FleetLogPair>(&text) {
-                        Ok(p) => p,
-                        Err(e) => {
-                            eprintln!("cannot parse {path} as a fleet event-log pair: {e}");
-                            return ExitCode::from(2);
+                    if let Ok(pair) = serde_json::from_str::<hetero_fleet::FleetLogPair>(&text) {
+                        vec![pair.robust, pair.naive]
+                    } else {
+                        match serde_json::from_str::<hetero_fleet::RolloutLogSet>(&text) {
+                            Ok(set) => set.runs,
+                            Err(e) => {
+                                eprintln!(
+                                    "cannot parse {path} as a fleet event-log pair or a rollout \
+                                     log set: {e}"
+                                );
+                                return ExitCode::from(2);
+                            }
                         }
                     }
                 }
                 None => {
                     let sim = FleetSim::new(FleetConfig::standard(42, 64, 600));
-                    sim.compare_events().1
+                    let pair = sim.compare_events().1;
+                    vec![pair.robust, pair.naive]
                 }
             };
-            for log in [&pair.robust, &pair.naive] {
+            for log in &logs {
                 let verdict = hetero_analyze::monitor_fleet_log(log);
                 if !args.json {
                     println!(

@@ -43,6 +43,12 @@
 //! | `policy-livelock`    | deny | every product-automaton state can reach a resolution (§6) |
 //! | `retry-unbounded`    | deny | no failure cycle that never consumes retry budget (§6) |
 //! | `breaker-trap`       | deny | every Open breaker state can escape to HalfOpen (§6) |
+//! | `promotion-legality` | deny | every Promote verdict follows a cleanly completed stage (§6) |
+//! | `rollback-completeness` | deny | every canary revert follows a Rollback, inside the stage window (§6) |
+//! | `blast-radius`       | deny | canary exposure inside stage k stays within ⌈devices·pct/100⌉ (§6) |
+//! | `rollout-stuck`      | deny | a rollout terminates, consistently with its stage verdicts (§6) |
+//! | `rollback-missed`    | deny | no stage with regressing re-derived deltas is promoted (§6) |
+//! | `canary-starved`     | warn | decided stages carry at least the minimum canary evidence (§6) |
 //!
 //! The trace rules ([`timeline`]) re-check exported `--trace-out`
 //! files from the outside — `analyze timeline <FILE>` parses the JSON
@@ -64,11 +70,17 @@
 //! The temporal rules ([`monitor`], [`model_check`]) certify the fleet
 //! layer's *dynamic behaviour*: a past-time-LTL evaluator sweeps a
 //! typed [`hetero_fleet::FleetEventLog`] once against six named specs
-//! (sliced per device, per request, or globally), and a bounded
-//! exhaustive model checker enumerates the
+//! (sliced per device, per request, or globally) — plus three
+//! staged-rollout specs when the log header declares a rollout window
+//! — and a bounded exhaustive model checker enumerates the
 //! breaker × retry × admission product automaton to prove livelock
 //! freedom, bounded retry, and Open-state escapability with exact
-//! state counts (`analyze monitor` in CI).
+//! state counts (`analyze monitor` in CI). The rollout ladder gets the
+//! same treatment: [`model_check::check_rollout_product`] proves
+//! promotion reachable and rollback reachable from *every* non-terminal
+//! rollout state, and the [`rollout`] evidence rules re-derive every
+//! stage verdict of a finished [`hetero_fleet::RolloutReport`] from its
+//! echoed thresholds.
 //!
 //! The bound rules ([`bound`]) are the analyzer's cost layer: a
 //! generic join-semilattice worklist interpreter over the submission
@@ -97,6 +109,7 @@ pub mod model_check;
 pub mod monitor;
 pub mod plan_rules;
 pub mod race;
+pub mod rollout;
 pub mod rules;
 pub mod sched;
 pub mod sweep;
@@ -111,13 +124,17 @@ pub use explore::{explore_schedule, DeterminismCertificate, ExploreConfig};
 pub use fallback::check_fallback;
 pub use fleet::{check_fleet_arm, check_retry_policy};
 pub use mem::{check_regions, TensorRegion};
-pub use model_check::{check_policy_product, ModelOptions, PolicyAutomata, ProductCertificate};
+pub use model_check::{
+    check_policy_product, check_rollout_product, ModelOptions, PolicyAutomata, ProductCertificate,
+    RolloutAutomata, RolloutCertificate, RolloutOptions,
+};
 pub use monitor::{
     monitor_fleet_log, Ltl, LtlMonitor, MonitorVerdict, STORM_AMPLIFICATION_FACTOR,
     STORM_AMPLIFICATION_SLACK,
 };
 pub use plan_rules::{check_plan, PlanContext};
 pub use race::{check_log, check_schedule_races, log_from_schedule};
+pub use rollout::check_rollout_report;
 pub use rules::{rule, RuleInfo, RULES};
 pub use sched::{
     check_schedule, check_unverified_sink, retry_schedule, verified_schedule, EventKind, SyncEvent,

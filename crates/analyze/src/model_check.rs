@@ -496,6 +496,228 @@ pub fn check_policy_product(
     (cert, diags)
 }
 
+/// The staged-rollout controller abstracted as a finite automaton:
+/// per stage a canary cohort serves (possibly under drift), the stage
+/// closes into a deciding state, and the verdict either promotes to
+/// the next stage (or to full fleet after the last) or rolls back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RolloutAutomata {
+    /// Number of rollout stages (the shipped controller uses 4:
+    /// 1% → 10% → 50% → 100%).
+    pub stages: u32,
+}
+
+impl RolloutAutomata {
+    /// The shipped staged-rollout ladder.
+    pub fn standard() -> Self {
+        Self { stages: 4 }
+    }
+}
+
+/// Fault-injection knobs for the rollout checker (tests prove the
+/// checker *detects* a controller that cannot promote or cannot roll
+/// back, not just passes the shipped one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutOptions {
+    /// Model the clean-verdict edge out of a deciding state. Disabling
+    /// it models a controller that can never promote past a stage.
+    pub verdict_edges: bool,
+    /// Model the regressed-verdict edge out of a deciding state.
+    /// Disabling it models a controller with no rollback path.
+    pub rollback_edges: bool,
+}
+
+impl Default for RolloutOptions {
+    fn default() -> Self {
+        Self {
+            verdict_edges: true,
+            rollback_edges: true,
+        }
+    }
+}
+
+/// Rollout-side automaton state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum RolState {
+    /// Stage `stage` is serving its canary cohort; `drifted` tracks
+    /// whether the online profiler currently reports drift on a canary.
+    Canary { stage: u32, drifted: bool },
+    /// Stage `stage` closed; the controller is comparing canary vs
+    /// control deltas.
+    Deciding { stage: u32, drifted: bool },
+    /// The candidate reached 100% and the rollout terminated clean.
+    Promoted,
+    /// The candidate was reverted fleet-wide.
+    RolledBack,
+}
+
+/// Rollout edge labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum RolEdge {
+    DriftUp,
+    DriftDown,
+    StageDone,
+    CleanVerdict,
+    RegressedVerdict,
+}
+
+/// Exact exploration results for the rollout automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RolloutCertificate {
+    /// Reachable rollout states.
+    pub states: u64,
+    /// Distinct labeled transitions between explored states.
+    pub transitions: u64,
+    /// Terminal states (`Promoted`, `RolledBack`).
+    pub terminal_states: u64,
+    /// Stages the ladder models.
+    pub stages: u32,
+    /// `Promoted` is reachable from the initial 1%-stage state.
+    pub promote_reachable: bool,
+    /// `RolledBack` is reachable from every non-terminal state.
+    pub rollback_reachable: bool,
+}
+
+fn rollout_successors(
+    s: RolState,
+    automata: &RolloutAutomata,
+    opts: &RolloutOptions,
+) -> Vec<(RolEdge, RolState)> {
+    let mut out = Vec::new();
+    match s {
+        RolState::Canary { stage, drifted } => {
+            if drifted {
+                out.push((
+                    RolEdge::DriftDown,
+                    RolState::Canary {
+                        stage,
+                        drifted: false,
+                    },
+                ));
+            } else {
+                out.push((
+                    RolEdge::DriftUp,
+                    RolState::Canary {
+                        stage,
+                        drifted: true,
+                    },
+                ));
+            }
+            out.push((RolEdge::StageDone, RolState::Deciding { stage, drifted }));
+        }
+        RolState::Deciding { stage, .. } => {
+            if opts.verdict_edges {
+                let next = if stage >= automata.stages {
+                    RolState::Promoted
+                } else {
+                    RolState::Canary {
+                        stage: stage + 1,
+                        drifted: false,
+                    }
+                };
+                out.push((RolEdge::CleanVerdict, next));
+            }
+            if opts.rollback_edges {
+                out.push((RolEdge::RegressedVerdict, RolState::RolledBack));
+            }
+        }
+        RolState::Promoted | RolState::RolledBack => {}
+    }
+    out
+}
+
+/// Exhaustively explore the rollout automaton and prove (or refute)
+/// that promotion is reachable and that rollback is reachable from
+/// *every* non-terminal state — the blast-radius safety argument: no
+/// matter where in the ladder a regression is detected, the controller
+/// can always revert.
+pub fn check_rollout_product(
+    automata: &RolloutAutomata,
+    opts: &RolloutOptions,
+    location: &str,
+) -> (RolloutCertificate, Vec<Diagnostic>) {
+    let mut ids: BTreeMap<RolState, usize> = BTreeMap::new();
+    let mut states: Vec<RolState> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let init = RolState::Canary {
+        stage: 1,
+        drifted: false,
+    };
+    ids.insert(init, 0);
+    states.push(init);
+    queue.push_back(0);
+    let mut edge_set: BTreeSet<(usize, RolEdge, usize)> = BTreeSet::new();
+    while let Some(uid) = queue.pop_front() {
+        for (kind, next) in rollout_successors(states[uid], automata, opts) {
+            let vid = *ids.entry(next).or_insert_with(|| {
+                let v = states.len();
+                states.push(next);
+                queue.push_back(v);
+                v
+            });
+            edge_set.insert((uid, kind, vid));
+        }
+    }
+
+    let n = states.len();
+    let terminal = |s: &RolState| matches!(s, RolState::Promoted | RolState::RolledBack);
+    let edges: Vec<(usize, usize)> = edge_set.iter().map(|&(u, _, v)| (u, v)).collect();
+
+    let promoted: Vec<usize> = (0..n)
+        .filter(|&i| states[i] == RolState::Promoted)
+        .collect();
+    let promote_reachable = can_reach(n, &edges, &promoted)[0];
+
+    let rolled_back: Vec<usize> = (0..n)
+        .filter(|&i| states[i] == RolState::RolledBack)
+        .collect();
+    let reaches_rollback = can_reach(n, &edges, &rolled_back);
+    let unrevertable: Vec<usize> = (0..n)
+        .filter(|&i| !terminal(&states[i]) && !reaches_rollback[i])
+        .collect();
+
+    let cert = RolloutCertificate {
+        states: n as u64,
+        transitions: edge_set.len() as u64,
+        terminal_states: states.iter().filter(|s| terminal(s)).count() as u64,
+        stages: automata.stages,
+        promote_reachable,
+        rollback_reachable: unrevertable.is_empty(),
+    };
+
+    let mut diags = Vec::new();
+    let mut push = |rule_id: &str, message: String| {
+        let info = rules::rule(rule_id).expect("model-check rules are registered");
+        diags.push(Diagnostic {
+            rule_id: rule_id.to_string(),
+            severity: info.severity,
+            location: location.to_string(),
+            message,
+            suggestion: None,
+        });
+    };
+    if !promote_reachable {
+        push(
+            rules::ROLLOUT_STUCK,
+            format!(
+                "no path from the initial 1% stage to Promoted across {} stage(s)",
+                automata.stages
+            ),
+        );
+    }
+    if let Some(&first) = unrevertable.first() {
+        push(
+            rules::ROLLBACK_MISSED,
+            format!(
+                "{} non-terminal state(s) cannot reach RolledBack; e.g. {:?}",
+                unrevertable.len(),
+                states[first]
+            ),
+        );
+    }
+    (cert, diags)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,6 +797,60 @@ mod tests {
         );
         let json = serde_json::to_string(&cert).expect("serialize");
         let back: ProductCertificate = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn rollout_ladder_certifies_with_exact_counts() {
+        let (cert, diags) = check_rollout_product(
+            &RolloutAutomata::standard(),
+            &RolloutOptions::default(),
+            "test",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(cert.promote_reachable);
+        assert!(cert.rollback_reachable);
+        assert_eq!(cert.terminal_states, 2);
+        // 4 stages × {Canary, Deciding} × {drifted, not} + 2 terminals.
+        assert_eq!(cert.states, 18);
+        // Per stage: DriftUp, DriftDown, 2×StageDone, 2×CleanVerdict,
+        // 2×RegressedVerdict = 8 edges × 4 stages.
+        assert_eq!(cert.transitions, 32);
+    }
+
+    #[test]
+    fn missing_clean_verdict_edge_is_rollout_stuck() {
+        let opts = RolloutOptions {
+            verdict_edges: false,
+            ..RolloutOptions::default()
+        };
+        let (cert, diags) = check_rollout_product(&RolloutAutomata::standard(), &opts, "test");
+        assert!(!cert.promote_reachable);
+        assert!(cert.rollback_reachable, "rollback path is intact");
+        assert!(diags.iter().any(|d| d.rule_id == rules::ROLLOUT_STUCK));
+    }
+
+    #[test]
+    fn missing_rollback_edge_is_rollback_missed() {
+        let opts = RolloutOptions {
+            rollback_edges: false,
+            ..RolloutOptions::default()
+        };
+        let (cert, diags) = check_rollout_product(&RolloutAutomata::standard(), &opts, "test");
+        assert!(cert.promote_reachable, "promotion path is intact");
+        assert!(!cert.rollback_reachable);
+        assert!(diags.iter().any(|d| d.rule_id == rules::ROLLBACK_MISSED));
+    }
+
+    #[test]
+    fn rollout_certificate_roundtrips_through_json() {
+        let (cert, _) = check_rollout_product(
+            &RolloutAutomata::standard(),
+            &RolloutOptions::default(),
+            "test",
+        );
+        let json = serde_json::to_string(&cert).expect("serialize");
+        let back: RolloutCertificate = serde_json::from_str(&json).expect("parse");
         assert_eq!(back, cert);
     }
 }

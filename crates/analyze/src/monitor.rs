@@ -43,8 +43,22 @@
 //! - [`rules::BROWNOUT_UNSHED`] — warn: a batch-class admission
 //!   inside a fault window requires a contract-fresh census or a shed
 //!   since the window opened (no admitting batch blind mid-storm).
+//!
+//! Rollout logs (`rollout_window_ns > 0` in the header) additionally
+//! arm three staged-rollout specs:
+//!
+//! - [`rules::PROMOTION_LEGALITY`] — deny: every `Promote` verdict
+//!   immediately follows a cleanly completed stage — no verdict since
+//!   that stage opened.
+//! - [`rules::ROLLBACK_COMPLETENESS`] — deny: every baseline-revert
+//!   `ProfileUpdate` follows a `Rollback` with no newer stage between
+//!   them, and every `Rollback` lands within the stage window of a
+//!   `RolloutStage` event.
+//! - [`rules::BLAST_RADIUS`] — deny: one instance per stage
+//!   percentage; inside stage `k`, canary-apply profile updates stay
+//!   within the stage's cohort bound `⌈devices × pct / 100⌉`.
 
-use hetero_fleet::{FleetEvent, FleetEventLog, Priority};
+use hetero_fleet::{FleetEvent, FleetEventLog, Priority, ProfileCause, ROLLOUT_STAGES};
 use std::collections::BTreeMap;
 
 use crate::diag::Diagnostic;
@@ -304,6 +318,21 @@ fn is_census(e: &FleetEvent) -> bool {
     matches!(e, FleetEvent::CensusRefresh { .. })
 }
 
+fn is_stage(e: &FleetEvent) -> bool {
+    matches!(e, FleetEvent::RolloutStage { .. })
+}
+
+/// Static instance qualifier for one rollout stage percentage.
+fn stage_instance(pct: u32) -> &'static str {
+    match pct {
+        1 => "stage-1pct",
+        10 => "stage-10pct",
+        50 => "stage-50pct",
+        100 => "stage-100pct",
+        _ => "stage",
+    }
+}
+
 /// The spec library, with timing bounds taken from the log's contract
 /// header.
 fn build_specs(log: &FleetEventLog) -> Vec<Spec> {
@@ -503,6 +532,122 @@ fn build_specs(log: &FleetEventLog) -> Vec<Spec> {
              and no census within {contract} ns"
         ),
     });
+
+    // The staged-rollout specs only arm on rollout logs (the master
+    // timeline `RolloutController::run` emits); plain `fleet_sweep`
+    // arms carry `rollout_window_ns = 0` and skip them.
+    if log.rollout_window_ns > 0 {
+        let window = log.rollout_window_ns;
+
+        // promotion-legality: global, over stage/verdict events only,
+        //   promote → Y((¬promote ∧ ¬rollback) S stage):
+        // the stage the verdict covers completed with no verdict since
+        // it opened (no double promotion, no promotion after rollback
+        // without a fresh stage).
+        specs.push(Spec {
+            rule: rules::PROMOTION_LEGALITY,
+            instance: "",
+            slice: Slice::Global,
+            relevant: Box::new(|e| {
+                matches!(
+                    e,
+                    FleetEvent::RolloutStage { .. }
+                        | FleetEvent::Promote { .. }
+                        | FleetEvent::Rollback { .. }
+                )
+            }),
+            atoms: vec![
+                Box::new(|e| matches!(e, FleetEvent::Promote { .. })),
+                Box::new(|e| matches!(e, FleetEvent::Rollback { .. })),
+                Box::new(is_stage),
+            ],
+            formula: Ltl::atom(0).implies(
+                Ltl::atom(0)
+                    .not()
+                    .and(Ltl::atom(1).not())
+                    .since(Ltl::atom(2))
+                    .yesterday(),
+            ),
+            describe: "candidate promoted without a cleanly completed stage immediately behind \
+                       the verdict"
+                .into(),
+        });
+
+        // rollback-completeness: global,
+        //   (revert → (¬stage) S rollback) ∧
+        //   (rollback → OnceWithin(stage, window)):
+        // every baseline revert traces back to a Rollback verdict with
+        // no newer stage in between, and the verdict itself lands
+        // inside its stage window.
+        specs.push(Spec {
+            rule: rules::ROLLBACK_COMPLETENESS,
+            instance: "",
+            slice: Slice::Global,
+            relevant: Box::new(|e| match *e {
+                FleetEvent::RolloutStage { .. } | FleetEvent::Rollback { .. } => true,
+                FleetEvent::ProfileUpdate { cause, .. } => cause == ProfileCause::Rollback,
+                _ => false,
+            }),
+            atoms: vec![
+                Box::new(|e| {
+                    matches!(*e, FleetEvent::ProfileUpdate { cause, .. }
+                        if cause == ProfileCause::Rollback)
+                }),
+                Box::new(is_stage),
+                Box::new(|e| matches!(e, FleetEvent::Rollback { .. })),
+            ],
+            formula: Ltl::atom(0)
+                .implies(Ltl::atom(1).not().since(Ltl::atom(2)))
+                .and(Ltl::atom(2).implies(Ltl::atom(1).once_within(window))),
+            describe: format!(
+                "baseline revert without a governing Rollback verdict, or a Rollback more than \
+                 the {window} ns stage window after its stage opened"
+            ),
+        });
+
+        // blast-radius: one instance per stage percentage,
+        //   ((¬stage_other) S stage_k) → #canary_apply ≤ ⌈devices·pct/100⌉,
+        // counted since the last stage boundary.
+        for pct in ROLLOUT_STAGES {
+            let allowed = (log.devices * u64::from(pct)).div_ceil(100);
+            specs.push(Spec {
+                rule: rules::BLAST_RADIUS,
+                instance: stage_instance(pct),
+                slice: Slice::Global,
+                relevant: Box::new(|e| match *e {
+                    FleetEvent::RolloutStage { .. } => true,
+                    FleetEvent::ProfileUpdate { cause, .. } => cause == ProfileCause::CanaryApply,
+                    _ => false,
+                }),
+                atoms: vec![
+                    Box::new(|e| {
+                        matches!(*e, FleetEvent::ProfileUpdate { cause, .. }
+                            if cause == ProfileCause::CanaryApply)
+                    }),
+                    Box::new(is_stage),
+                    Box::new(
+                        move |e| matches!(*e, FleetEvent::RolloutStage { pct: p, .. } if p == pct),
+                    ),
+                    Box::new(
+                        move |e| matches!(*e, FleetEvent::RolloutStage { pct: p, .. } if p != pct),
+                    ),
+                ],
+                formula: Ltl::atom(3)
+                    .not()
+                    .since(Ltl::atom(2))
+                    .implies(Ltl::CountLe {
+                        count: Box::new(Ltl::atom(0)),
+                        reset: Box::new(Ltl::atom(1)),
+                        mul: 0,
+                        bound: Box::new(Ltl::atom(1)),
+                        add: allowed,
+                    }),
+                describe: format!(
+                    "more than {allowed} canary devices exposed inside the {pct}% stage"
+                ),
+            });
+        }
+    }
 
     specs
 }
@@ -716,8 +861,15 @@ mod tests {
             slo_ttft_ns: 1_000_000,
             deadline_ns: 4_000_000,
             census_interval_ns: 50_000_000,
+            rollout_window_ns: 0,
             events,
         }
+    }
+
+    fn rollout_log(events: Vec<FleetEvent>) -> FleetEventLog {
+        let mut log = tiny_log(events);
+        log.rollout_window_ns = 10_000_000_000;
+        log
     }
 
     #[test]
@@ -808,5 +960,103 @@ mod tests {
             .findings
             .iter()
             .all(|d| d.rule_id != rules::SHED_INVERSION));
+    }
+
+    fn stage(at_ms: u64, stage: u32, pct: u32, canary: u64) -> FleetEvent {
+        FleetEvent::RolloutStage {
+            at: SimTime::from_millis(at_ms),
+            stage,
+            pct,
+            canary,
+        }
+    }
+
+    fn profile(at_ms: u64, device: u64, cause: ProfileCause) -> FleetEvent {
+        FleetEvent::ProfileUpdate {
+            at: SimTime::from_millis(at_ms),
+            device,
+            slowdown_ppm: 1_000_000,
+            revision: u64::from(cause == ProfileCause::CanaryApply),
+            cause,
+        }
+    }
+
+    #[test]
+    fn rollout_specs_stay_dormant_without_a_window() {
+        // An orphan revert in a non-rollout log (window 0) is ignored:
+        // the rollout specs never arm.
+        let log = tiny_log(vec![profile(5, 0, ProfileCause::Rollback)]);
+        let verdict = monitor_fleet_log(&log);
+        assert!(verdict.findings.is_empty(), "{:?}", verdict.findings);
+    }
+
+    #[test]
+    fn synthetic_legal_rollout_is_clean() {
+        let promote = |at_ms: u64, s: u32| FleetEvent::Promote {
+            at: SimTime::from_millis(at_ms),
+            stage: s,
+        };
+        let log = rollout_log(vec![
+            stage(100, 1, 1, 1),
+            profile(100, 0, ProfileCause::CanaryApply),
+            promote(200, 1),
+            stage(300, 2, 10, 1),
+            profile(300, 0, ProfileCause::CanaryApply),
+            promote(400, 2),
+        ]);
+        let verdict = monitor_fleet_log(&log);
+        assert!(verdict.findings.is_empty(), "{:?}", verdict.findings);
+    }
+
+    #[test]
+    fn synthetic_double_promote_trips_promotion_legality() {
+        let promote = |at_ms: u64| FleetEvent::Promote {
+            at: SimTime::from_millis(at_ms),
+            stage: 1,
+        };
+        let log = rollout_log(vec![stage(100, 1, 1, 1), promote(200), promote(300)]);
+        let verdict = monitor_fleet_log(&log);
+        assert_eq!(verdict.findings.len(), 1, "{:?}", verdict.findings);
+        assert_eq!(verdict.findings[0].rule_id, rules::PROMOTION_LEGALITY);
+    }
+
+    #[test]
+    fn synthetic_orphan_revert_trips_rollback_completeness() {
+        // Reverting canaries without a Rollback verdict on record.
+        let log = rollout_log(vec![
+            stage(100, 1, 1, 1),
+            profile(100, 0, ProfileCause::CanaryApply),
+            profile(200, 0, ProfileCause::Rollback),
+        ]);
+        let verdict = monitor_fleet_log(&log);
+        assert_eq!(verdict.findings.len(), 1, "{:?}", verdict.findings);
+        assert_eq!(verdict.findings[0].rule_id, rules::ROLLBACK_COMPLETENESS);
+        // With the verdict in place the same revert is legal.
+        let rollback = FleetEvent::Rollback {
+            at: SimTime::from_millis(150),
+            stage: 1,
+        };
+        let ok = monitor_fleet_log(&rollout_log(vec![
+            stage(100, 1, 1, 1),
+            profile(100, 0, ProfileCause::CanaryApply),
+            rollback,
+            profile(200, 0, ProfileCause::Rollback),
+        ]));
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+    }
+
+    #[test]
+    fn synthetic_cohort_overflow_trips_blast_radius() {
+        // tiny_log has devices = 2, so the 1% stage allows
+        // ⌈2·1/100⌉ = 1 canary apply; a second one overflows.
+        let log = rollout_log(vec![
+            stage(100, 1, 1, 1),
+            profile(100, 0, ProfileCause::CanaryApply),
+            profile(100, 1, ProfileCause::CanaryApply),
+        ]);
+        let verdict = monitor_fleet_log(&log);
+        assert_eq!(verdict.findings.len(), 1, "{:?}", verdict.findings);
+        assert_eq!(verdict.findings[0].rule_id, rules::BLAST_RADIUS);
+        assert!(verdict.findings[0].message.contains("1% stage"));
     }
 }

@@ -94,6 +94,28 @@ pub const STORM_AMPLIFICATION: &str = "storm-amplification";
 /// Rule (temporal): inside a fault window, batch-class admissions
 /// require either a fresh census or prior load shedding.
 pub const BROWNOUT_UNSHED: &str = "brownout-unshed";
+/// Rule (temporal): every baseline-revert `ProfileUpdate` in a rollout
+/// log must follow a `Rollback` verdict with no newer stage in
+/// between, and every `Rollback` must land inside its stage window.
+pub const ROLLBACK_COMPLETENESS: &str = "rollback-completeness";
+/// Rule (temporal): a `Promote` verdict is only legal immediately
+/// after a cleanly completed stage — no double-promotion and no
+/// promotion after a rollback without a fresh stage.
+pub const PROMOTION_LEGALITY: &str = "promotion-legality";
+/// Rule (temporal): inside stage `k` of a rollout, canary-apply
+/// profile updates never exceed the stage's declared cohort size
+/// (`⌈devices × pct / 100⌉`).
+pub const BLAST_RADIUS: &str = "blast-radius";
+/// Rule (evidence): a rollout run must terminate — the report outcome
+/// is `promoted` or `rolled-back` and is consistent with its per-stage
+/// verdicts.
+pub const ROLLOUT_STUCK: &str = "rollout-stuck";
+/// Rule (evidence): a stage whose re-derived canary-vs-control deltas
+/// regress past the echoed thresholds must not have been promoted.
+pub const ROLLBACK_MISSED: &str = "rollback-missed";
+/// Rule (evidence): every decided stage must have served the canary
+/// cohort at least the configured minimum sample count.
+pub const CANARY_STARVED: &str = "canary-starved";
 /// Rule (model checker): every non-terminal state of the
 /// breaker×retry×admission product must reach a request resolution.
 pub const POLICY_LIVELOCK: &str = "policy-livelock";
@@ -118,7 +140,7 @@ pub struct RuleInfo {
 }
 
 /// All registered rules.
-pub const RULES: [RuleInfo; 33] = [
+pub const RULES: [RuleInfo; 39] = [
     RuleInfo {
         id: SHAPE_CONSERVATION,
         severity: Severity::Deny,
@@ -331,6 +353,50 @@ pub const RULES: [RuleInfo; 33] = [
         paper: "§6 (fleet serving)",
     },
     RuleInfo {
+        id: ROLLBACK_COMPLETENESS,
+        severity: Severity::Deny,
+        summary: "every baseline-revert profile update follows a Rollback \
+                  verdict with no newer stage between them, and every \
+                  Rollback lands inside its stage window",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: PROMOTION_LEGALITY,
+        severity: Severity::Deny,
+        summary: "a Promote verdict only follows a cleanly completed stage: \
+                  no double promotion, no promotion after a rollback \
+                  without a fresh stage",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: BLAST_RADIUS,
+        severity: Severity::Deny,
+        summary: "inside stage k, canary-apply profile updates never exceed \
+                  the stage's declared cohort size ⌈devices × pct / 100⌉",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: ROLLOUT_STUCK,
+        severity: Severity::Deny,
+        summary: "a rollout terminates in promoted or rolled-back, \
+                  consistent with its per-stage verdicts",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: ROLLBACK_MISSED,
+        severity: Severity::Deny,
+        summary: "a stage whose re-derived canary-vs-control deltas regress \
+                  past the echoed thresholds is never promoted",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
+        id: CANARY_STARVED,
+        severity: Severity::Warn,
+        summary: "every decided rollout stage served the canary cohort at \
+                  least the configured minimum sample count",
+        paper: "§6 (fleet serving)",
+    },
+    RuleInfo {
         id: POLICY_LIVELOCK,
         severity: Severity::Deny,
         summary: "every reachable breaker×retry×admission product state can \
@@ -404,13 +470,19 @@ mod tests {
             CENSUS_STALENESS,
             STORM_AMPLIFICATION,
             BROWNOUT_UNSHED,
+            ROLLBACK_COMPLETENESS,
+            PROMOTION_LEGALITY,
+            BLAST_RADIUS,
+            ROLLOUT_STUCK,
+            ROLLBACK_MISSED,
+            CANARY_STARVED,
             POLICY_LIVELOCK,
             RETRY_UNBOUNDED,
             BREAKER_TRAP,
         ] {
             assert!(rule(id).is_some(), "{id} missing from RULES");
         }
-        assert_eq!(RULES.len(), 33, "registry and const list out of sync");
+        assert_eq!(RULES.len(), 39, "registry and const list out of sync");
     }
 
     #[test]
@@ -435,13 +507,18 @@ mod tests {
             RETRY_PAST_DEADLINE,
             SHED_INVERSION,
             STORM_AMPLIFICATION,
+            ROLLBACK_COMPLETENESS,
+            PROMOTION_LEGALITY,
+            BLAST_RADIUS,
+            ROLLOUT_STUCK,
+            ROLLBACK_MISSED,
             POLICY_LIVELOCK,
             RETRY_UNBOUNDED,
             BREAKER_TRAP,
         ] {
             assert_eq!(rule(id).unwrap().severity, Severity::Deny, "{id}");
         }
-        for id in [CENSUS_STALENESS, BROWNOUT_UNSHED] {
+        for id in [CENSUS_STALENESS, BROWNOUT_UNSHED, CANARY_STARVED] {
             assert_eq!(rule(id).unwrap().severity, Severity::Warn, "{id}");
         }
     }

@@ -8,16 +8,36 @@
 
 use hetero_analyze::{monitor_fleet_log, rules};
 use hetero_fleet::{
-    BreakerCause, BreakerState, FleetConfig, FleetEvent, FleetEventLog, FleetSim, Priority,
-    RouterPolicy,
+    BreakerCause, BreakerState, FleetConfig, FleetEvent, FleetEventLog, FleetSim, PolicyRevision,
+    Priority, ProfileCause, RolloutConfig, RolloutController, RouterPolicy,
 };
 use hetero_soc::SimTime;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 fn robust_log() -> FleetEventLog {
     let sim = FleetSim::new(FleetConfig::standard(42, 48, 400));
     sim.run_events(RouterPolicy::Robust).1
+}
+
+/// One seeded rollout master log per candidate kind, cached: the
+/// regressing NPU-inversion candidate (rolls back at 1%) and the
+/// genuinely better one (promotes to 100%).
+fn rollout_log(mult_ppm: u64) -> FleetEventLog {
+    static BAD: OnceLock<FleetEventLog> = OnceLock::new();
+    static GOOD: OnceLock<FleetEventLog> = OnceLock::new();
+    let build = || {
+        let sim = FleetSim::new(FleetConfig::standard(42, 48, 1000));
+        let ctl = RolloutController::new(&sim, RolloutConfig::standard());
+        let candidate = PolicyRevision::uniform(7, "candidate", sim.profiles().len(), mult_ppm);
+        ctl.run(&candidate).1
+    };
+    if mult_ppm > 1_000_000 {
+        BAD.get_or_init(build).clone()
+    } else {
+        GOOD.get_or_init(build).clone()
+    }
 }
 
 fn violated_rules(log: &FleetEventLog) -> BTreeSet<String> {
@@ -164,6 +184,102 @@ fn flipping_a_shed_above_an_admit_trips_shed_inversion() {
     assert_eq!(
         violated_rules(&log),
         BTreeSet::from([rules::SHED_INVERSION.to_string()])
+    );
+}
+
+#[test]
+fn rollout_arms_sweep_clean() {
+    // Both controller outputs — the stage-1 rollback and the full
+    // promotion ladder — pass every spec untouched, so the mutations
+    // below isolate exactly one corruption each.
+    for log in [rollout_log(2_500_000), rollout_log(930_000)] {
+        assert!(log.rollout_window_ns > 0);
+        let verdict = monitor_fleet_log(&log);
+        assert!(verdict.findings.is_empty(), "{:?}", verdict.findings);
+    }
+}
+
+// Rollout mutation 1: drop the Rollback verdict from the regressing
+// candidate's log. Its canary reverts are now orphaned — no Rollback
+// ever precedes them: rollback-completeness.
+#[test]
+fn dropping_the_rollback_verdict_trips_rollback_completeness() {
+    let mut log = rollout_log(2_500_000);
+    let idx = log
+        .events
+        .iter()
+        .position(|e| matches!(e, FleetEvent::Rollback { .. }))
+        .expect("the regressing candidate rolls back");
+    log.events.remove(idx);
+    assert_eq!(
+        violated_rules(&log),
+        BTreeSet::from([rules::ROLLBACK_COMPLETENESS.to_string()])
+    );
+}
+
+// Rollout mutation 2: move the good candidate's stage-2 Promote to
+// 1 ns *before* the 10% stage opens. The verdict now lands inside the
+// still-deciding 1% stage — whose own Promote already closed it — so
+// the stage it claims to close was never cleanly completed:
+// promotion-legality.
+#[test]
+fn reordering_promote_before_its_stage_trips_promotion_legality() {
+    let mut log = rollout_log(930_000);
+    let stage2_open = log
+        .events
+        .iter()
+        .find_map(|e| match *e {
+            FleetEvent::RolloutStage { at, stage: 2, .. } => Some(at),
+            _ => None,
+        })
+        .expect("the good candidate reaches the 10% stage");
+    let promote2 = log
+        .events
+        .iter_mut()
+        .find_map(|e| match e {
+            FleetEvent::Promote { at, stage: 2 } => Some(at),
+            _ => None,
+        })
+        .expect("the 10% stage is promoted");
+    *promote2 = stage2_open - SimTime::from_nanos(1);
+    assert_eq!(
+        violated_rules(&log),
+        BTreeSet::from([rules::PROMOTION_LEGALITY.to_string()])
+    );
+}
+
+// Rollout mutation 3: inject one extra canary apply inside the 1%
+// stage. 48 devices at 1% allow ⌈48/100⌉ = 1 canary device; a second
+// CanaryApply inside the stage overflows the cohort: blast-radius.
+#[test]
+fn injecting_an_extra_canary_apply_trips_blast_radius() {
+    let mut log = rollout_log(2_500_000);
+    let (stage1_open, revision) = log
+        .events
+        .iter()
+        .find_map(|e| match *e {
+            FleetEvent::RolloutStage { at, stage: 1, .. } => Some(at),
+            _ => None,
+        })
+        .zip(log.events.iter().find_map(|e| match *e {
+            FleetEvent::ProfileUpdate {
+                cause: ProfileCause::CanaryApply,
+                revision,
+                ..
+            } => Some(revision),
+            _ => None,
+        }))
+        .expect("the 1% stage opens and applies its canary");
+    log.events.push(FleetEvent::ProfileUpdate {
+        at: stage1_open + SimTime::from_nanos(1),
+        device: 47,
+        slowdown_ppm: 1_000_000,
+        revision,
+        cause: ProfileCause::CanaryApply,
+    });
+    assert_eq!(
+        violated_rules(&log),
+        BTreeSet::from([rules::BLAST_RADIUS.to_string()])
     );
 }
 

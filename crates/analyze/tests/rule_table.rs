@@ -89,6 +89,12 @@ fn monitor_rules_have_a_dedicated_table_row() {
         "policy-livelock",
         "retry-unbounded",
         "breaker-trap",
+        "promotion-legality",
+        "rollback-completeness",
+        "blast-radius",
+        "rollout-stuck",
+        "rollback-missed",
+        "canary-starved",
     ] {
         assert!(
             rows.iter().any(|(rid, _)| rid == id),

@@ -12,7 +12,7 @@
 //! typed.
 
 use hetero_soc::specs::{project_config, table1};
-use hetero_soc::SimTime;
+use hetero_soc::{SimTime, SocConfig};
 use heterollm::engines::HeteroTensorEngine;
 use heterollm::obs::MetricsRegistry;
 use heterollm::{InferenceSession, ModelConfig};
@@ -20,10 +20,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::policy::{BreakerConfig, CircuitBreaker};
 
-/// Prompt length used to calibrate per-token prefill latency.
-const CALIB_PROMPT: usize = 256;
+/// Prompt length used to calibrate per-token prefill latency (also
+/// the online profiler's few-shot micro-benchmark shape).
+pub const CALIB_PROMPT: usize = 256;
 /// Decode steps used to calibrate per-token decode latency.
-const CALIB_DECODE: usize = 16;
+pub const CALIB_DECODE: usize = 16;
 
 /// One distinct SoC profile in the fleet, calibrated from a real
 /// engine run.
@@ -53,12 +54,21 @@ impl DeviceProfile {
 /// whose engines fault during calibration are skipped (counted by the
 /// caller as configuration faults) rather than aborting the sweep.
 pub fn calibrate_profiles(model: &ModelConfig) -> Vec<DeviceProfile> {
+    calibrate_profiles_with_socs(model).0
+}
+
+/// [`calibrate_profiles`] plus the projected [`SocConfig`] behind each
+/// profile, index-aligned — consumers that re-solve partition plans
+/// for a drifted device (the rollout overlay) need the config the
+/// profile was calibrated on.
+pub fn calibrate_profiles_with_socs(model: &ModelConfig) -> (Vec<DeviceProfile>, Vec<SocConfig>) {
     let mut profiles = Vec::new();
+    let mut socs = Vec::new();
     for spec in table1() {
         let Some(cfg) = project_config(&spec) else {
             continue; // No FP16 NPU: not a HeteroLLM target.
         };
-        let engine = HeteroTensorEngine::with_soc_config(model, cfg);
+        let engine = HeteroTensorEngine::with_soc_config(model, cfg.clone());
         let mut session = InferenceSession::from_engine(Box::new(engine));
         let Ok(report) = session.try_run(CALIB_PROMPT, CALIB_DECODE) else {
             continue; // Engine fault — a device-config fault, not a crash.
@@ -68,8 +78,9 @@ pub fn calibrate_profiles(model: &ModelConfig) -> Vec<DeviceProfile> {
             prefill_ns_per_token: report.prefill.elapsed.as_nanos() / CALIB_PROMPT as u64,
             decode_ns_per_token: report.decode.per_token().as_nanos(),
         });
+        socs.push(cfg);
     }
-    profiles
+    (profiles, socs)
 }
 
 /// Router-side state for one device.

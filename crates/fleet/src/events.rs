@@ -22,8 +22,34 @@ use crate::policy::{BreakerCause, BreakerState};
 use crate::workload::Priority;
 
 /// Schema version of [`FleetEventLog`] (bumped on any field change;
-/// the fleet golden test pins the serialized form).
-pub const EVENT_LOG_VERSION: u32 = 1;
+/// the fleet golden test pins the serialized form). v2 added the four
+/// rollout events (`RolloutStage`, `ProfileUpdate`, `Promote`,
+/// `Rollback`) and the `rollout_window_ns` header field.
+pub const EVENT_LOG_VERSION: u32 = 2;
+
+/// Why a device's profile estimate or policy revision changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProfileCause {
+    /// Few-shot micro-benchmark at session start seeded the estimate.
+    Calibration,
+    /// The online EWMA crossed the re-solve drift threshold.
+    Drift,
+    /// The rollout controller shipped the candidate revision to a
+    /// canary device.
+    CanaryApply,
+    /// The rollout controller reverted a canary device to the
+    /// baseline revision after a failed stage.
+    Rollback,
+}
+
+fn profile_cause_rank(c: ProfileCause) -> u64 {
+    match c {
+        ProfileCause::Calibration => 0,
+        ProfileCause::Drift => 1,
+        ProfileCause::CanaryApply => 2,
+        ProfileCause::Rollback => 3,
+    }
+}
 
 /// One observable fleet occurrence, integer-ns timestamped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -143,6 +169,49 @@ pub enum FleetEvent {
         /// Storm index within the fault plan.
         storm: u32,
     },
+    /// A staged rollout opened a stage: the candidate revision now
+    /// runs on `canary` devices (`pct`% of the fleet).
+    RolloutStage {
+        /// Stage open time.
+        at: SimTime,
+        /// One-based stage index.
+        stage: u32,
+        /// Fleet percentage this stage exposes.
+        pct: u32,
+        /// Devices in the stage's canary cohort.
+        canary: u64,
+    },
+    /// A device's profile estimate or policy revision changed.
+    ProfileUpdate {
+        /// Update time.
+        at: SimTime,
+        /// Device the update concerns.
+        device: u64,
+        /// The device's current slowdown estimate, parts per million
+        /// of its static calibrated profile (1_000_000 = on-profile).
+        slowdown_ppm: u64,
+        /// Policy revision the device runs after the update
+        /// (0 = baseline).
+        revision: u64,
+        /// What drove the update.
+        cause: ProfileCause,
+    },
+    /// The rollout controller judged a stage clean and promoted the
+    /// candidate past it.
+    Promote {
+        /// Verdict time.
+        at: SimTime,
+        /// One-based stage the verdict covers.
+        stage: u32,
+    },
+    /// The rollout controller judged a stage regressed and rolled the
+    /// candidate back.
+    Rollback {
+        /// Verdict time.
+        at: SimTime,
+        /// One-based stage the verdict covers.
+        stage: u32,
+    },
 }
 
 fn breaker_state_rank(s: BreakerState) -> u64 {
@@ -176,8 +245,40 @@ impl FleetEvent {
             | FleetEvent::Lost { at, .. }
             | FleetEvent::Breaker { at, .. }
             | FleetEvent::FaultOpen { at, .. }
-            | FleetEvent::FaultClose { at, .. } => at,
+            | FleetEvent::FaultClose { at, .. }
+            | FleetEvent::RolloutStage { at, .. }
+            | FleetEvent::ProfileUpdate { at, .. }
+            | FleetEvent::Promote { at, .. }
+            | FleetEvent::Rollback { at, .. } => at,
         }
+    }
+
+    /// The same event with its timestamp shifted forward by `delta`.
+    /// Durations carried in fields (`ttft`, `tpot`, `delay`) are
+    /// relative and stay put — only `at` moves. Used by the rollout
+    /// controller to place each stage's replay window on one shared
+    /// timeline.
+    #[must_use]
+    pub fn shifted(&self, delta: SimTime) -> FleetEvent {
+        let mut ev = *self;
+        match &mut ev {
+            FleetEvent::Offered { at, .. }
+            | FleetEvent::CensusRefresh { at, .. }
+            | FleetEvent::Shed { at, .. }
+            | FleetEvent::Dispatch { at, .. }
+            | FleetEvent::DispatchFail { at, .. }
+            | FleetEvent::Retry { at, .. }
+            | FleetEvent::Complete { at, .. }
+            | FleetEvent::Lost { at, .. }
+            | FleetEvent::Breaker { at, .. }
+            | FleetEvent::FaultOpen { at, .. }
+            | FleetEvent::FaultClose { at, .. }
+            | FleetEvent::RolloutStage { at, .. }
+            | FleetEvent::ProfileUpdate { at, .. }
+            | FleetEvent::Promote { at, .. }
+            | FleetEvent::Rollback { at, .. } => *at += delta,
+        }
+        ev
     }
 
     /// The request the event belongs to, if any.
@@ -200,7 +301,8 @@ impl FleetEvent {
             FleetEvent::Dispatch { device, .. }
             | FleetEvent::DispatchFail { device, .. }
             | FleetEvent::Complete { device, .. }
-            | FleetEvent::Breaker { device, .. } => Some(device),
+            | FleetEvent::Breaker { device, .. }
+            | FleetEvent::ProfileUpdate { device, .. } => Some(device),
             _ => None,
         }
     }
@@ -219,27 +321,38 @@ impl FleetEvent {
             FleetEvent::Breaker { .. } => "breaker",
             FleetEvent::FaultOpen { .. } => "fault-open",
             FleetEvent::FaultClose { .. } => "fault-close",
+            FleetEvent::RolloutStage { .. } => "rollout-stage",
+            FleetEvent::ProfileUpdate { .. } => "profile-update",
+            FleetEvent::Promote { .. } => "promote",
+            FleetEvent::Rollback { .. } => "rollback",
         }
     }
 
-    /// Same-timestamp ordering rank. Window boundaries sort before the
-    /// observations inside the tick; completions and breaker
-    /// transitions (which happen *at* service end) sort before the
-    /// admission/dispatch activity of requests arriving at the same
-    /// instant; census refreshes precede the decisions they inform.
+    /// Same-timestamp ordering rank. Rollout stage boundaries open
+    /// their window before anything inside it; window boundaries sort
+    /// before the observations inside the tick; completions and
+    /// breaker transitions (which happen *at* service end) sort before
+    /// the admission/dispatch activity of requests arriving at the
+    /// same instant; census refreshes and profile updates precede the
+    /// decisions they inform; rollout verdicts (`Promote`/`Rollback`)
+    /// close their stage after every observation inside it.
     fn rank(&self) -> u64 {
         match self {
-            FleetEvent::FaultClose { .. } => 0,
-            FleetEvent::FaultOpen { .. } => 1,
-            FleetEvent::Complete { .. } => 2,
-            FleetEvent::Breaker { .. } => 3,
-            FleetEvent::CensusRefresh { .. } => 4,
-            FleetEvent::Offered { .. } => 5,
-            FleetEvent::Shed { .. } => 6,
-            FleetEvent::Dispatch { .. } => 7,
-            FleetEvent::DispatchFail { .. } => 8,
-            FleetEvent::Retry { .. } => 9,
-            FleetEvent::Lost { .. } => 10,
+            FleetEvent::RolloutStage { .. } => 0,
+            FleetEvent::FaultClose { .. } => 1,
+            FleetEvent::FaultOpen { .. } => 2,
+            FleetEvent::Complete { .. } => 3,
+            FleetEvent::Breaker { .. } => 4,
+            FleetEvent::CensusRefresh { .. } => 5,
+            FleetEvent::ProfileUpdate { .. } => 6,
+            FleetEvent::Offered { .. } => 7,
+            FleetEvent::Shed { .. } => 8,
+            FleetEvent::Dispatch { .. } => 9,
+            FleetEvent::DispatchFail { .. } => 10,
+            FleetEvent::Retry { .. } => 11,
+            FleetEvent::Lost { .. } => 12,
+            FleetEvent::Promote { .. } => 13,
+            FleetEvent::Rollback { .. } => 14,
         }
     }
 
@@ -294,6 +407,26 @@ impl FleetEvent {
             FleetEvent::FaultOpen { storm, .. } | FleetEvent::FaultClose { storm, .. } => {
                 (t, r, u64::from(storm), 0, 0, 0)
             }
+            FleetEvent::RolloutStage {
+                stage, pct, canary, ..
+            } => (t, r, u64::from(stage), u64::from(pct), canary, 0),
+            FleetEvent::ProfileUpdate {
+                device,
+                slowdown_ppm,
+                revision,
+                cause,
+                ..
+            } => (
+                t,
+                r,
+                device,
+                profile_cause_rank(cause),
+                slowdown_ppm,
+                revision,
+            ),
+            FleetEvent::Promote { stage, .. } | FleetEvent::Rollback { stage, .. } => {
+                (t, r, u64::from(stage), 0, 0, 0)
+            }
         }
     }
 }
@@ -320,6 +453,13 @@ pub struct FleetEventLog {
     /// Census contract: routing decisions must not act on a census
     /// older than this, nanoseconds.
     pub census_interval_ns: u64,
+    /// Rollout stage window span, nanoseconds: stage `k` of a staged
+    /// rollout occupies `[k·span, (k+1)·span)` on the shared timeline
+    /// and its verdict must land inside the window. Zero means the log
+    /// contains no rollout (plain `fleet_sweep` arms), which disables
+    /// the rollout temporal specs.
+    #[serde(default)]
+    pub rollout_window_ns: u64,
     /// Canonically ordered events.
     pub events: Vec<FleetEvent>,
 }
@@ -393,6 +533,59 @@ mod tests {
         };
         assert_ne!(a.sort_key(), b.sort_key());
         assert_eq!(a.sort_key(), a.sort_key());
+    }
+
+    #[test]
+    fn rollout_events_bracket_their_stage_window() {
+        let stage = FleetEvent::RolloutStage {
+            at: t(100),
+            stage: 1,
+            pct: 1,
+            canary: 3,
+        };
+        let apply = FleetEvent::ProfileUpdate {
+            at: t(100),
+            device: 2,
+            slowdown_ppm: 1_000_000,
+            revision: 1,
+            cause: ProfileCause::CanaryApply,
+        };
+        let offered = FleetEvent::Offered {
+            at: t(100),
+            req: 0,
+            priority: Priority::Interactive,
+            prompt_tokens: 8,
+            decode_tokens: 8,
+        };
+        let rollback = FleetEvent::Rollback {
+            at: t(100),
+            stage: 1,
+        };
+        let mut evs = [rollback, offered, apply, stage];
+        evs.sort_by_key(FleetEvent::sort_key);
+        assert_eq!(evs[0].kind(), "rollout-stage");
+        assert_eq!(evs[1].kind(), "profile-update");
+        assert_eq!(evs[2].kind(), "offered");
+        assert_eq!(evs[3].kind(), "rollback");
+        assert_eq!(apply.device(), Some(2));
+        assert_eq!(apply.req(), None);
+    }
+
+    #[test]
+    fn shifted_moves_timestamps_but_not_durations() {
+        let ev = FleetEvent::Complete {
+            at: t(5),
+            req: 1,
+            device: 0,
+            ttft: t(2),
+            tpot: t(1),
+        };
+        let moved = ev.shifted(SimTime::from_millis(100));
+        assert_eq!(moved.at(), t(105));
+        let FleetEvent::Complete { ttft, tpot, .. } = moved else {
+            panic!("variant changed");
+        };
+        assert_eq!((ttft, tpot), (t(2), t(1)));
     }
 
     #[test]

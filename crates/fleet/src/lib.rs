@@ -41,18 +41,28 @@ pub mod device;
 pub mod events;
 pub mod fault;
 pub mod policy;
+pub mod profiler;
 pub mod report;
+pub mod rollout;
 pub mod router;
 pub mod workload;
 
-pub use device::{calibrate_profiles, Device, DeviceProfile};
-pub use events::{FleetEvent, FleetEventLog, FleetLogPair, EVENT_LOG_VERSION};
+pub use device::{
+    calibrate_profiles, calibrate_profiles_with_socs, Device, DeviceProfile, CALIB_DECODE,
+    CALIB_PROMPT,
+};
+pub use events::{FleetEvent, FleetEventLog, FleetLogPair, ProfileCause, EVENT_LOG_VERSION};
 pub use fault::{FaultInjector, FaultPlanConfig};
 pub use policy::{
     AdmissionControl, BreakerCause, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker,
     RetryPolicy,
 };
+pub use profiler::{OnlineProfiler, DRIFT_RESOLVE_THRESHOLD_PPM, FEW_SHOT_SAMPLES, PPM};
 pub use report::{ArmReport, FleetComparison, PriorityStats};
+pub use rollout::{
+    PolicyRevision, RolloutConfig, RolloutController, RolloutLogSet, RolloutReport, StageReport,
+    ROLLOUT_STAGES,
+};
 pub use router::{FleetConfig, FleetSim, RouterPolicy, MAX_DISPATCHES};
 pub use workload::{fleet_traffic, FleetRequest, Priority};
 

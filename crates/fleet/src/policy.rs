@@ -185,6 +185,17 @@ impl CircuitBreaker {
     }
 
     fn transition(&mut self, at: SimTime, to: BreakerState, cause: BreakerCause) {
+        // The replay advances per-request chains, not one global
+        // clock, so raw call times can interleave backwards across
+        // requests (a completion recorded after a later chain already
+        // polled this breaker). The state machine itself is serialized
+        // in call order; clamp timestamps strictly monotone so the
+        // emitted transition log carries that serialization and sorts
+        // back into it.
+        let at = match self.transitions.last() {
+            Some(prev) if at <= prev.at => prev.at + SimTime::from_nanos(1),
+            _ => at,
+        };
         self.transitions.push(BreakerTransition {
             at,
             from: self.state,

@@ -1,0 +1,158 @@
+//! On-device online drift profiler.
+//!
+//! The fleet's static [`crate::DeviceProfile`]s are calibrated once,
+//! on a quiet device. In the field, sustained load invalidates that:
+//! thermal brownouts, NPU contention, and candidate policy revisions
+//! all move real service time off the calibrated per-token latencies.
+//! [`OnlineProfiler`] tracks that drift per device as an all-integer
+//! ratio: a few-shot micro-benchmark seeds the estimate at session
+//! start, then every completion folds `observed / expected` (parts
+//! per million of the static profile) into an EWMA with the same
+//! α = 1/8 the router's latency EWMA uses.
+//!
+//! The estimate feeds two consumers:
+//!
+//! - routing: [`crate::router::FleetSim`] scores candidates by the
+//!   profiler estimate instead of the probe's ground-truth slowdown
+//!   when a rollout overlay is active;
+//! - re-planning: crossing [`DRIFT_RESOLVE_THRESHOLD_PPM`] triggers a
+//!   per-device partition re-solve
+//!   (`hetero_solver::resolve_for_drift`), emitting a
+//!   [`crate::FleetEvent::ProfileUpdate`] with
+//!   [`crate::ProfileCause::Drift`].
+//!
+//! Everything is deterministic and integer: same samples, same
+//! estimates, byte-identical logs.
+
+use serde::{Deserialize, Serialize};
+
+/// Parts-per-million scale of all drift ratios.
+pub const PPM: u64 = 1_000_000;
+
+/// Drift (above the static profile) at which a device's stale
+/// partition plan is re-solved: 25% sustained slowdown.
+pub const DRIFT_RESOLVE_THRESHOLD_PPM: u64 = 250_000;
+
+/// Few-shot calibration samples taken at session start.
+pub const FEW_SHOT_SAMPLES: usize = 4;
+
+/// Per-device online latency-drift estimator.
+///
+/// Tracks service-time drift as `est_ppm`, an EWMA of
+/// `observed_ns · 10⁶ / expected_ns` where `expected` is the static
+/// calibrated profile's quiet estimate for the same request shape.
+/// When observations match the static profile exactly the estimate is
+/// exactly [`PPM`] — no rounding slack — so undisturbed devices stay
+/// inside the static cost interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineProfiler {
+    /// Static quiet service estimate for the calibration shape,
+    /// nanoseconds (the denominator the estimate projects onto).
+    expected_ns: u64,
+    /// EWMA drift estimate, ppm of the static profile (α = 1/8).
+    est_ppm: u64,
+}
+
+impl OnlineProfiler {
+    /// New profiler projecting onto `expected_ns` (the static quiet
+    /// service estimate for the calibration request shape), starting
+    /// exactly on-profile.
+    pub fn new(expected_ns: u64) -> Self {
+        Self {
+            expected_ns: expected_ns.max(1),
+            est_ppm: PPM,
+        }
+    }
+
+    /// Seed the estimate from a few-shot micro-benchmark: the mean of
+    /// `samples` (observed calibration-shape service times, ns)
+    /// becomes the starting drift ratio. Empty input keeps the
+    /// on-profile default.
+    pub fn calibrate(&mut self, samples: &[u64]) {
+        if samples.is_empty() {
+            return;
+        }
+        let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+        self.est_ppm = mean.saturating_mul(PPM) / self.expected_ns;
+    }
+
+    /// Fold one completed request into the estimate: `observed_ns`
+    /// actual service time against `expected_ns`, the static profile's
+    /// quiet estimate for the same request shape.
+    pub fn observe(&mut self, observed_ns: u64, expected_ns: u64) {
+        let sample_ppm = observed_ns.saturating_mul(PPM) / expected_ns.max(1);
+        self.est_ppm = (self.est_ppm * 7 + sample_ppm) / 8;
+    }
+
+    /// Current drift estimate, ppm of the static profile.
+    pub fn estimate_ppm(&self) -> u64 {
+        self.est_ppm
+    }
+
+    /// Current service-time estimate for the calibration shape, ns.
+    pub fn estimated_service_ns(&self) -> u64 {
+        ((u128::from(self.expected_ns) * u128::from(self.est_ppm)) / u128::from(PPM)) as u64
+    }
+
+    /// Absolute drift away from the static profile, ppm.
+    pub fn drift_ppm(&self) -> u64 {
+        self.est_ppm.abs_diff(PPM)
+    }
+
+    /// Whether the device has drifted *slower* than the static profile
+    /// far enough that its stale partition plan should be re-solved
+    /// (speedups never force a re-solve: the stale plan still meets
+    /// its bound).
+    pub fn needs_resolve(&self, threshold_ppm: u64) -> bool {
+        self.est_ppm >= PPM + threshold_ppm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_profile_observations_keep_the_estimate_exact() {
+        let mut p = OnlineProfiler::new(50_000_000);
+        p.calibrate(&[50_000_000; FEW_SHOT_SAMPLES]);
+        assert_eq!(p.estimate_ppm(), PPM);
+        for _ in 0..100 {
+            p.observe(50_000_000, 50_000_000);
+        }
+        assert_eq!(p.estimate_ppm(), PPM, "no rounding slack on-profile");
+        assert_eq!(p.estimated_service_ns(), 50_000_000);
+        assert!(!p.needs_resolve(DRIFT_RESOLVE_THRESHOLD_PPM));
+    }
+
+    #[test]
+    fn sustained_slowdown_crosses_the_resolve_threshold() {
+        let mut p = OnlineProfiler::new(10_000_000);
+        // 2× brownout, constant.
+        for _ in 0..32 {
+            p.observe(20_000_000, 10_000_000);
+        }
+        assert!(p.estimate_ppm() > PPM + DRIFT_RESOLVE_THRESHOLD_PPM);
+        assert!(p.needs_resolve(DRIFT_RESOLVE_THRESHOLD_PPM));
+        assert!(p.estimate_ppm() <= 2 * PPM);
+    }
+
+    #[test]
+    fn speedups_never_force_a_resolve() {
+        let mut p = OnlineProfiler::new(10_000_000);
+        for _ in 0..64 {
+            p.observe(5_000_000, 10_000_000);
+        }
+        assert!(p.estimate_ppm() < PPM);
+        assert!(p.drift_ppm() > DRIFT_RESOLVE_THRESHOLD_PPM);
+        assert!(!p.needs_resolve(DRIFT_RESOLVE_THRESHOLD_PPM));
+    }
+
+    #[test]
+    fn calibration_seeds_the_starting_ratio() {
+        let mut p = OnlineProfiler::new(10_000_000);
+        p.calibrate(&[15_000_000; FEW_SHOT_SAMPLES]);
+        assert_eq!(p.estimate_ppm(), 1_500_000);
+        assert_eq!(p.estimated_service_ns(), 15_000_000);
+    }
+}

@@ -25,6 +25,12 @@ pub struct PriorityStats {
     pub lost: u64,
     /// Served requests meeting both TTFT and TPOT SLOs.
     pub slo_met: u64,
+    /// Total SLO penalty charged to this class, nanoseconds: every
+    /// shed request is charged a class-weighted TTFT-SLO penalty
+    /// (interactive 4×, standard 2×, batch 1× — shedding interactive
+    /// traffic is the worst outcome admission control can buy), and
+    /// every lost request is charged the full lost-penalty deadline.
+    pub penalty_ns: u64,
 }
 
 impl PriorityStats {
@@ -37,6 +43,7 @@ impl PriorityStats {
             shed: 0,
             lost: 0,
             slo_met: 0,
+            penalty_ns: 0,
         }
     }
 }

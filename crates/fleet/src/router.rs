@@ -24,17 +24,19 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use hetero_soc::SimTime;
+use hetero_soc::{SimTime, SocConfig};
 use heterollm::obs::MetricsRegistry;
 use heterollm::ModelConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::device::{calibrate_profiles, Device, DeviceProfile};
+use crate::device::{calibrate_profiles_with_socs, Device, DeviceProfile};
 use crate::draw;
 use crate::events::{FleetEvent, FleetEventLog, FleetLogPair, EVENT_LOG_VERSION};
 use crate::fault::{FaultInjector, FaultPlanConfig};
 use crate::policy::{AdmissionControl, BreakerConfig, RetryPolicy};
+use crate::profiler::PPM;
 use crate::report::{quantiles_ns, ArmReport, FleetComparison, PriorityStats};
+use crate::rollout::{scale_ppm, StageOverlay};
 use crate::workload::{fleet_traffic, FleetRequest, Priority};
 
 /// Draw-offset namespace for candidate sampling (decorrelated from
@@ -128,6 +130,7 @@ impl FleetConfig {
 pub struct FleetSim {
     config: FleetConfig,
     profiles: Vec<DeviceProfile>,
+    socs: Vec<SocConfig>,
     requests: Vec<FleetRequest>,
     injector: FaultInjector,
     horizon: SimTime,
@@ -146,7 +149,7 @@ impl FleetSim {
     /// Panics if no Table-1 SoC yields a usable profile (requires an
     /// FP16-capable NPU and a fault-free calibration run).
     pub fn new(config: FleetConfig) -> Self {
-        let profiles = calibrate_profiles(&config.model);
+        let (profiles, socs) = calibrate_profiles_with_socs(&config.model);
         assert!(
             !profiles.is_empty(),
             "no projectable Table-1 SoC profile calibrated"
@@ -190,6 +193,7 @@ impl FleetSim {
         Self {
             config,
             profiles,
+            socs,
             requests,
             injector,
             horizon,
@@ -202,6 +206,33 @@ impl FleetSim {
     /// The calibrated profile table.
     pub fn profiles(&self) -> &[DeviceProfile] {
         &self.profiles
+    }
+
+    /// The world's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Profile-aligned SoC configs (drift re-solves run the solver on
+    /// the config each profile was calibrated on).
+    pub(crate) fn socs(&self) -> &[SocConfig] {
+        &self.socs
+    }
+
+    /// The seeded fault injector (the rollout controller's few-shot
+    /// micro-benchmarks sample its disturbances).
+    pub(crate) fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Replay horizon (last arrival plus drain slack).
+    pub(crate) fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Per-request lost-penalty deadline.
+    pub(crate) fn lost_penalty(&self) -> SimTime {
+        self.lost_penalty
     }
 
     /// The generated request stream.
@@ -263,6 +294,17 @@ impl FleetSim {
     /// breaker-blocked, or unreachable as of the last health probe,
     /// and keep the best score. Falls back to a full deterministic
     /// scan when every sample is filtered (mid-storm).
+    ///
+    /// Under a rollout overlay, selection is pool-restricted
+    /// (`want_canary`) so canary traffic share tracks the stage's
+    /// device exposure, and speed scoring uses each device's *online
+    /// profiler estimate* instead of the probe's ground-truth
+    /// slowdown — the drift-aware routing the profiler exists for.
+    /// When no device of the request's pool is selectable (storm over
+    /// a 1% cohort), selection fails over to the whole fleet rather
+    /// than stranding the request; outcomes are attributed to the
+    /// *serving* device's group, so the comparison stays pure.
+    #[allow(clippy::too_many_arguments)]
     fn select_robust(
         &self,
         devices: &mut [Device],
@@ -270,33 +312,53 @@ impl FleetSim {
         attempt: u32,
         t: SimTime,
         failed: &[usize],
+        overlay: Option<&StageOverlay>,
+        want_canary: Option<bool>,
     ) -> Option<usize> {
         let probe_t = self.probe_view(t);
         let n = devices.len() as u64;
-        let eval = |idx: usize, devices: &mut [Device]| -> Option<(u64, usize)> {
-            if failed.contains(&idx) {
-                return None;
-            }
-            if !devices[idx].breaker.allows(t) {
-                return None;
-            }
-            if !self.injector.probe_reachable_at(idx, probe_t) {
-                return None;
-            }
-            // Probes measure service speed too: a browned-out device
-            // (thermal throttle, NPU claimed) scores worse by its
-            // probe-observed slowdown, steering load off it.
-            let slow = self.injector.slowdown_at(idx, probe_t);
-            let score = (devices[idx].score(t) as f64 * slow) as u64;
-            Some((score, idx))
-        };
+        let eval =
+            |idx: usize, devices: &mut [Device], pool: Option<bool>| -> Option<(u64, usize)> {
+                if failed.contains(&idx) {
+                    return None;
+                }
+                if !devices[idx].breaker.allows(t) {
+                    return None;
+                }
+                if !self.injector.probe_reachable_at(idx, probe_t) {
+                    return None;
+                }
+                let score = match overlay {
+                    Some(ov) => {
+                        if let Some(w) = pool {
+                            if ov.canary[idx] != w {
+                                return None;
+                            }
+                        }
+                        // Drift-aware scoring: the profiler's integer
+                        // estimate stands in for the probe's slowdown.
+                        ((u128::from(devices[idx].score(t))
+                            * u128::from(ov.profilers[idx].estimate_ppm()))
+                            / u128::from(PPM)) as u64
+                    }
+                    None => {
+                        // Probes measure service speed too: a browned-out
+                        // device (thermal throttle, NPU claimed) scores
+                        // worse by its probe-observed slowdown, steering
+                        // load off it.
+                        let slow = self.injector.slowdown_at(idx, probe_t);
+                        (devices[idx].score(t) as f64 * slow) as u64
+                    }
+                };
+                Some((score, idx))
+            };
         let mut best: Option<(u64, usize)> = None;
         for j in 0..SELECT_SAMPLES {
             let idx = draw(
                 self.config.seed,
                 OFF_SELECT + req.id * 1024 + u64::from(attempt) * SELECT_SAMPLES + j,
             ) % n;
-            if let Some(key) = eval(idx as usize, devices) {
+            if let Some(key) = eval(idx as usize, devices, want_canary) {
                 if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }
@@ -304,7 +366,17 @@ impl FleetSim {
         }
         if best.is_none() {
             for idx in 0..devices.len() {
-                if let Some(key) = eval(idx, devices) {
+                if let Some(key) = eval(idx, devices, want_canary) {
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        if best.is_none() && want_canary.is_some() {
+            // Pool exhausted: fail over to the whole fleet.
+            for idx in 0..devices.len() {
+                if let Some(key) = eval(idx, devices, None) {
                     if best.is_none_or(|b| key < b) {
                         best = Some(key);
                     }
@@ -316,7 +388,7 @@ impl FleetSim {
 
     /// Replay the world under one policy.
     pub fn run(&self, policy: RouterPolicy) -> ArmReport {
-        self.replay(policy, None).0
+        self.replay(policy, None, None).0
     }
 
     /// Replay the world under one policy while recording the typed
@@ -331,9 +403,31 @@ impl FleetSim {
             slo_ttft_ns: self.slo_ttft.as_nanos(),
             deadline_ns: self.lost_penalty.as_nanos(),
             census_interval_ns: self.config.probe_interval.as_nanos(),
+            rollout_window_ns: 0,
             events: Vec::new(),
         };
-        let (report, log) = self.replay(policy, Some(log));
+        let (report, log) = self.replay(policy, Some(log), None);
+        (report, log.expect("recording replay returns its log"))
+    }
+
+    /// Replay the world under the robust policy through a rollout
+    /// stage overlay, recording stage-local events. The overlay
+    /// carries the canary flags, profilers, and group accounting back
+    /// to the rollout controller.
+    pub(crate) fn replay_stage(&self, overlay: &mut StageOverlay) -> (ArmReport, FleetEventLog) {
+        let log = FleetEventLog {
+            version: EVENT_LOG_VERSION,
+            seed: self.config.seed,
+            policy: "rollout-stage".to_string(),
+            devices: self.config.devices as u64,
+            requests: self.config.requests as u64,
+            slo_ttft_ns: self.slo_ttft.as_nanos(),
+            deadline_ns: self.lost_penalty.as_nanos(),
+            census_interval_ns: self.config.probe_interval.as_nanos(),
+            rollout_window_ns: 0,
+            events: Vec::new(),
+        };
+        let (report, log) = self.replay(RouterPolicy::Robust, Some(log), Some(overlay));
         (report, log.expect("recording replay returns its log"))
     }
 
@@ -344,14 +438,17 @@ impl FleetSim {
         }
     }
 
-    /// The replay loop shared by [`Self::run`] (no log) and
-    /// [`Self::run_events`] (recording). Recording never touches the
-    /// draw streams or any routing state, so the returned report does
-    /// not depend on whether a log is attached.
+    /// The replay loop shared by [`Self::run`] (no log),
+    /// [`Self::run_events`] (recording), and [`Self::replay_stage`]
+    /// (recording through a rollout overlay). Recording never touches
+    /// the draw streams or any routing state, so the returned report
+    /// does not depend on whether a log is attached; without an
+    /// overlay the routing path is bit-for-bit the pre-rollout one.
     fn replay(
         &self,
         policy: RouterPolicy,
         mut log: Option<FleetEventLog>,
+        mut overlay: Option<&mut StageOverlay>,
     ) -> (ArmReport, Option<FleetEventLog>) {
         let cfg = &self.config;
         let n = cfg.devices;
@@ -467,6 +564,15 @@ impl FleetSim {
                 {
                     shed += 1;
                     class.shed += 1;
+                    // A shed request is a refused user: charge the
+                    // class-weighted TTFT-SLO penalty (interactive
+                    // 4×, standard 2×, batch 1×) so the report prices
+                    // shedding instead of hiding it.
+                    let penalty = SimTime::from_nanos(
+                        self.slo_ttft.as_nanos() * (4u64 >> req.priority.index()),
+                    );
+                    class.penalty_ns += penalty.as_nanos();
+                    router.observe("shed_penalty_ns", penalty);
                     router.incr(&format!("shed_{}", req.priority.name()), 1);
                     Self::emit(
                         &mut log,
@@ -480,6 +586,11 @@ impl FleetSim {
                 }
             }
 
+            // Under a rollout overlay, pin the request to the canary
+            // or control pool for the whole retry chain.
+            let want_canary = overlay
+                .as_deref()
+                .map(|ov| ov.is_canary_request(cfg.seed, req.id));
             let schedule = cfg.retry.schedule(cfg.seed, req.id);
             let deadline = now + self.lost_penalty;
             // Delay before the next attempt: the seeded exponential
@@ -503,9 +614,15 @@ impl FleetSim {
                         rr_next += 1;
                         Some(idx)
                     }
-                    RouterPolicy::Robust => {
-                        self.select_robust(&mut devices, req, attempt, t, &failed)
-                    }
+                    RouterPolicy::Robust => self.select_robust(
+                        &mut devices,
+                        req,
+                        attempt,
+                        t,
+                        &failed,
+                        overlay.as_deref(),
+                        want_canary,
+                    ),
                 };
                 let Some(idx) = picked else {
                     // Nobody routable right now: wait out the backoff.
@@ -542,12 +659,19 @@ impl FleetSim {
                 let link = self.injector.link_delay_at(idx, start);
                 let profile = &self.profiles[devices[idx].profile];
                 let slowdown = self.injector.slowdown_at(idx, start);
-                let prefill =
+                let mut prefill =
                     SimTime::from_nanos(profile.prefill_ns_per_token * req.prompt_tokens as u64)
                         .scale(slowdown);
-                let decode =
+                let mut decode =
                     SimTime::from_nanos(profile.decode_ns_per_token * req.decode_tokens as u64)
                         .scale(slowdown);
+                if let Some(ov) = overlay.as_deref() {
+                    // Canary devices run the candidate's plan; any
+                    // drift-resolved device runs its re-solved plan.
+                    let (pm, dm) = ov.service_mults_ppm(idx, devices[idx].profile);
+                    prefill = scale_ppm(prefill, pm);
+                    decode = scale_ppm(decode, dm);
+                }
                 let end = start + prefill + decode;
 
                 let faulted = self.injector.link_lost_at(idx, start)
@@ -612,12 +736,39 @@ impl FleetSim {
                     goodput += 1;
                     class.slo_met += 1;
                 }
+                if let Some(ov) = overlay.as_deref_mut() {
+                    // Feed the device's online profiler; the first
+                    // threshold crossing re-solves its partition plan
+                    // and logs the drift.
+                    let expected = profile.service_estimate(req.prompt_tokens, req.decode_tokens);
+                    let observed = (prefill + decode).as_nanos();
+                    let service_ppm = observed.saturating_mul(PPM) / expected.as_nanos().max(1);
+                    if let Some(ev) = ov.observe_completion(
+                        idx,
+                        devices[idx].profile,
+                        observed,
+                        expected.as_nanos(),
+                        end,
+                    ) {
+                        Self::emit(&mut log, ev);
+                    }
+                    let served_by_canary = ov.canary[idx];
+                    ov.record_outcome(
+                        served_by_canary,
+                        service_ppm,
+                        ttft,
+                        tpot,
+                        self.slo_ttft,
+                        self.slo_tpot,
+                    );
+                }
                 done = true;
                 break;
             }
             if !done {
                 lost += 1;
                 class.lost += 1;
+                class.penalty_ns += self.lost_penalty.as_nanos();
                 router.incr("lost", 1);
                 // A stranded user never saw a token: record the
                 // penalty deadline so tail quantiles carry the loss.

@@ -8,7 +8,7 @@
 
 use hetero_fleet::{
     BreakerCause, BreakerState, FleetConfig, FleetEvent, FleetEventLog, FleetSim, Priority,
-    RouterPolicy, EVENT_LOG_VERSION,
+    ProfileCause, RouterPolicy, EVENT_LOG_VERSION,
 };
 use hetero_soc::SimTime;
 
@@ -25,7 +25,29 @@ fn one_of_each_log() -> FleetEventLog {
         slo_ttft_ns: 1_000_000_000,
         deadline_ns: 4_000_000_000,
         census_interval_ns: 50_000_000,
+        rollout_window_ns: 5_000_000_000,
         events: vec![
+            FleetEvent::RolloutStage {
+                at: t(5000),
+                stage: 1,
+                pct: 1,
+                canary: 1,
+            },
+            FleetEvent::ProfileUpdate {
+                at: t(5000),
+                device: 1,
+                slowdown_ppm: 1_000_000,
+                revision: 1,
+                cause: ProfileCause::CanaryApply,
+            },
+            FleetEvent::Rollback {
+                at: t(9000),
+                stage: 1,
+            },
+            FleetEvent::Promote {
+                at: t(9500),
+                stage: 2,
+            },
             FleetEvent::Complete {
                 at: t(900),
                 req: 0,

@@ -10,12 +10,49 @@
 //!   advertised bound.
 //! - The circuit breaker never moves `Open → Closed` without a
 //!   successful half-open probe, for any interleaving of outcomes.
+//! - The online drift profiler is deterministic (same samples, same
+//!   estimates), stays exactly inside the static
+//!   [`heterollm::admit::HeteroMirror`] cost interval on undisturbed
+//!   devices, and converges monotonically toward the true slowdown
+//!   under a constant brownout.
+//! - Per-priority-class accounting balances under both routing arms:
+//!   `offered == served + shed + lost`, and the class penalty is
+//!   exactly the shed-weight charges plus the lost-penalty charges.
 
-use hetero_fleet::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+use hetero_fleet::{
+    calibrate_profiles_with_socs, BreakerConfig, BreakerState, CircuitBreaker, DeviceProfile,
+    FleetConfig, FleetSim, OnlineProfiler, RetryPolicy, RouterPolicy, CALIB_DECODE, CALIB_PROMPT,
+    DRIFT_RESOLVE_THRESHOLD_PPM, PPM,
+};
 use hetero_soc::SimTime;
+use heterollm::admit::HeteroMirror;
 use heterollm::obs::metrics::HISTOGRAM_BUCKETS;
 use heterollm::obs::{Histogram, MetricsRegistry};
+use heterollm::ModelConfig;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Calibrated Table-1 profiles paired with the static `[lo, hi]`
+/// admission bound for the calibration request shape on the same SoC
+/// config — computed once (engine calibration + mirror pricing are
+/// deterministic but not free).
+fn profiles_with_bounds() -> &'static [(DeviceProfile, u64, u64)] {
+    static CACHE: OnceLock<Vec<(DeviceProfile, u64, u64)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let model = ModelConfig::internlm_1_8b();
+        let (profiles, socs) = calibrate_profiles_with_socs(&model);
+        profiles
+            .into_iter()
+            .zip(socs)
+            .map(|(p, cfg)| {
+                let mut mirror = HeteroMirror::with_soc_config(&model, cfg);
+                let bound = mirror.prefill_bound(CALIB_PROMPT)
+                    + mirror.decode_bound(CALIB_PROMPT, CALIB_DECODE);
+                (p, bound.lo.as_nanos(), bound.hi.as_nanos())
+            })
+            .collect()
+    })
+}
 
 /// The bucket an observation lands in (mirrors `Histogram::observe`).
 fn bucket_of(ns: u64) -> usize {
@@ -182,5 +219,142 @@ proptest! {
         }
         // Transition log timestamps never run backwards.
         prop_assert!(b.transitions().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    /// The drift profiler is a pure function of its sample stream:
+    /// identically-fed profilers agree estimate-for-estimate (the
+    /// byte-identical-log guarantee rests on this).
+    #[test]
+    fn profiler_is_deterministic_over_its_samples(
+        expected_ns in 1_000_000u64..100_000_000_000,
+        calib in proptest::collection::vec(1_000u64..1 << 50, 0..8),
+        stream in proptest::collection::vec((1_000u64..1 << 50, 1_000u64..1 << 40), 0..60),
+    ) {
+        let mut a = OnlineProfiler::new(expected_ns);
+        let mut b = OnlineProfiler::new(expected_ns);
+        a.calibrate(&calib);
+        b.calibrate(&calib);
+        prop_assert_eq!(a.estimate_ppm(), b.estimate_ppm());
+        for &(observed, expected) in &stream {
+            a.observe(observed, expected);
+            b.observe(observed, expected);
+            prop_assert_eq!(a.estimate_ppm(), b.estimate_ppm());
+            prop_assert_eq!(a.estimated_service_ns(), b.estimated_service_ns());
+        }
+        prop_assert_eq!(&a, &b);
+    }
+
+    /// On an undisturbed device, the profiler's service estimate stays
+    /// inside the static admission-mirror `[lo, hi]` interval for the
+    /// calibration shape, no matter what on-profile request shapes it
+    /// observes. (The calibrated per-token latencies are quotients of
+    /// a real engine run the mirror brackets; the only slack allowed
+    /// is their truncation loss — under one token's worth each.)
+    #[test]
+    fn undisturbed_profilers_stay_inside_the_static_interval(
+        profile_sel in 0usize..64,
+        shapes in proptest::collection::vec((1usize..2048, 1usize..256), 0..40),
+    ) {
+        let table = profiles_with_bounds();
+        let (profile, lo, hi) = &table[profile_sel % table.len()];
+        let expected = profile.service_estimate(CALIB_PROMPT, CALIB_DECODE).as_nanos();
+        let mut p = OnlineProfiler::new(expected);
+        // Quiet few-shot calibration, then quiet traffic: every
+        // observation matches the static profile exactly.
+        p.calibrate(&[expected; 4]);
+        for &(prompt, decode) in &shapes {
+            let e = profile.service_estimate(prompt, decode).as_nanos();
+            p.observe(e, e);
+        }
+        prop_assert_eq!(p.estimate_ppm(), PPM, "undisturbed estimate drifted");
+        let est = p.estimated_service_ns();
+        let slack = (CALIB_PROMPT + CALIB_DECODE) as u64;
+        prop_assert!(
+            est + slack >= *lo && est <= *hi,
+            "estimate {est} ns outside static interval [{lo}, {hi}] for {}",
+            profile.soc
+        );
+        prop_assert!(!p.needs_resolve(DRIFT_RESOLVE_THRESHOLD_PPM));
+    }
+
+    /// Under a constant brownout the EWMA climbs monotonically toward
+    /// the observed slowdown, never overshoots it, and lands within
+    /// integer-fixed-point slack of it — so the drift re-solve trigger
+    /// fires exactly when the sustained slowdown warrants it.
+    #[test]
+    fn constant_brownout_converges_monotonically(
+        expected_ns in 1_000_000u64..10_000_000_000,
+        slowdown_ppm in 1_300_000u64..4_000_000,
+    ) {
+        let observed = ((u128::from(expected_ns) * u128::from(slowdown_ppm))
+            / u128::from(PPM)) as u64;
+        // The quantized target the profiler can actually see.
+        let target = observed.saturating_mul(PPM) / expected_ns;
+        let mut p = OnlineProfiler::new(expected_ns);
+        let mut prev = p.estimate_ppm();
+        for step in 0..128 {
+            p.observe(observed, expected_ns);
+            let est = p.estimate_ppm();
+            prop_assert!(est >= prev, "EWMA regressed at step {step}: {prev} -> {est}");
+            prop_assert!(est <= target, "EWMA overshot the constant slowdown");
+            prev = est;
+        }
+        prop_assert!(
+            target - prev <= 16,
+            "did not converge: est {prev} vs target {target}"
+        );
+        prop_assert!(p.needs_resolve(DRIFT_RESOLVE_THRESHOLD_PPM));
+    }
+}
+
+proptest! {
+    // Full fleet replays per case: keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Per-priority-class accounting balances for both routing arms
+    /// at any seed and scale: every offered request is served, shed,
+    /// or lost — nothing double-counted, nothing dropped — and the
+    /// class penalty is exactly `shed × weight × slo_ttft + lost ×
+    /// lost_penalty`, where the shed weight is 4×/2×/1× for
+    /// interactive/standard/batch.
+    #[test]
+    fn class_accounting_balances_for_both_arms(
+        seed in 1u64..u64::MAX,
+        devices in 8usize..24,
+        requests in 60usize..200,
+    ) {
+        let sim = FleetSim::new(FleetConfig::standard(seed, devices, requests));
+        for policy in [RouterPolicy::Robust, RouterPolicy::RoundRobin] {
+            let (arm, log) = sim.run_events(policy);
+            let lost_penalty = log.deadline_ns;
+            let (mut offered, mut served, mut shed, mut lost) = (0u64, 0u64, 0u64, 0u64);
+            for (idx, class) in arm.by_priority.iter().enumerate() {
+                prop_assert_eq!(
+                    class.offered,
+                    class.served + class.shed + class.lost,
+                    "{} class `{}` leaks requests: {:?}",
+                    arm.policy, class.class, class
+                );
+                prop_assert!(class.slo_met <= class.served);
+                let shed_weight = 4u64 >> idx;
+                prop_assert_eq!(
+                    class.penalty_ns,
+                    class.shed * shed_weight * arm.slo_ttft_ns
+                        + class.lost * lost_penalty,
+                    "{} class `{}` penalty mispriced",
+                    arm.policy, class.class
+                );
+                offered += class.offered;
+                served += class.served;
+                shed += class.shed;
+                lost += class.lost;
+            }
+            // Class totals reconcile with the arm-level counters.
+            prop_assert_eq!(offered, arm.offered);
+            prop_assert_eq!(served, arm.served);
+            prop_assert_eq!(shed, arm.shed);
+            prop_assert_eq!(lost, arm.lost);
+            prop_assert_eq!(arm.offered, requests as u64);
+        }
     }
 }

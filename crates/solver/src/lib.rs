@@ -18,11 +18,13 @@
 //! sequence length — the control-plane "runtime decider".
 
 pub mod bound;
+pub mod drift;
 pub mod plan;
 pub mod regions;
 pub mod solver;
 pub mod table;
 
+pub use drift::{resolve_for_drift, DeratedProvider, DriftResolve};
 pub use plan::{PartitionPlan, PlanChoice};
 pub use regions::{PlanRegion, RegionTable};
 pub use solver::{Solver, SolverConfig};
