@@ -23,10 +23,15 @@ fn main() {
     hetero_bench::maybe_help(
         "compare_socs",
         "Cross-SoC projection: HeteroLLM on the other Table-1 phone SoCs",
-        &[],
+        &[(
+            "--jobs N",
+            "workers for the per-SoC engine sessions (default 1; output is byte-identical \
+for every value)",
+        )],
     );
     hetero_bench::maybe_analyze();
     hetero_bench::expect_no_flags("compare_socs");
+    let jobs = hetero_bench::jobs_from_args("compare_socs");
     println!("Cross-SoC projection: Hetero-tensor on Table-1 phone SoCs (Llama-3B)\n");
     println!("(GPU/NPU throughput scaled from published specs by the 8 Gen 3's");
     println!(" achieved/theoretical ratios; memory and drivers held constant.)\n");
@@ -38,14 +43,26 @@ fn main() {
         "prefill tok/s",
         "decode tok/s",
     ]);
-    let mut points = Vec::new();
-    for spec in table1() {
-        let Some(cfg) = project_config(&spec) else {
-            continue; // No FP16 NPU: HeteroLLM's FLOAT design needs one.
-        };
+    // Each projected SoC runs its own independent engine pair; the
+    // executor merges by index, so rows print in Table-1 order for
+    // every --jobs value.
+    let projected: Vec<_> = table1()
+        .into_iter()
+        .filter_map(|spec| {
+            // No FP16 NPU: HeteroLLM's FLOAT design needs one.
+            let cfg = project_config(&spec)?;
+            Some((spec, cfg))
+        })
+        .collect();
+    let measured = heterollm::exec::Executor::new(jobs).run(projected.len(), |i| {
+        let (_, cfg) = &projected[i];
         let mut engine = HeteroTensorEngine::with_soc_config(&model, cfg.clone());
         let prefill = engine.prefill(256).tokens_per_sec();
         let decode = engine.decode(256, 8).tokens_per_sec();
+        (prefill, decode)
+    });
+    let mut points = Vec::new();
+    for ((spec, cfg), (prefill, decode)) in projected.iter().zip(measured) {
         t.row(&[
             format!("{} {}", spec.vendor, spec.soc),
             fmt(cfg.gpu.achieved_tflops),

@@ -23,8 +23,10 @@
 //! verified sync schedules.
 //!
 //! Flags: `--seed N` (default 42), `--requests N` (default 24),
-//! `--json` (print the machine-readable comparison on stdout),
-//! `--integrity` (run the SDC arm), `--analyze` (standard
+//! `--jobs N` (workers for the two controller arms, default 1 —
+//! output is byte-identical for every value), `--json` (print the
+//! machine-readable comparison on stdout), `--integrity` (run the
+//! SDC arm), `--analyze` (standard
 //! pre-experiment solver lint), `--trace-out PATH` (record the
 //! adaptive arm through the observability layer and write a Chrome
 //! trace-event JSON — replans, fallbacks, and shed requests appear as
@@ -55,6 +57,7 @@ struct Comparison {
 struct Args {
     seed: u64,
     requests: usize,
+    jobs: usize,
     json: bool,
     integrity: bool,
     trace_out: Option<String>,
@@ -63,8 +66,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fault_sweep [--seed N] [--requests N] [--json] [--integrity] [--analyze]\n\
-         \x20                  [--trace-out PATH] [--metrics]"
+        "usage: fault_sweep [--seed N] [--requests N] [--jobs N] [--json] [--integrity]\n\
+         \x20                  [--analyze] [--trace-out PATH] [--metrics]"
     );
     std::process::exit(2);
 }
@@ -73,6 +76,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         seed: 42,
         requests: 24,
+        jobs: 1,
         json: false,
         integrity: false,
         trace_out: None,
@@ -86,6 +90,7 @@ fn parse_args() -> Args {
             "--requests" => {
                 args.requests = hetero_bench::parse_flag("fault_sweep", "--requests", &value());
             }
+            "--jobs" => args.jobs = hetero_bench::parse_jobs("fault_sweep", &value()),
             "--json" => args.json = true,
             "--integrity" => args.integrity = true,
             "--trace-out" => args.trace_out = Some(value()),
@@ -333,6 +338,11 @@ fn main() {
         &[
             ("--seed N", "disturbance/traffic seed (default 42)"),
             ("--requests N", "requests per arm (default 24)"),
+            (
+                "--jobs N",
+                "workers for the two controller arms (default 1; output is byte-identical \
+for every value)",
+            ),
             ("--json", "print the machine-readable comparison on stdout"),
             ("--integrity", "run the silent-data-corruption arm instead"),
             (
@@ -359,20 +369,30 @@ fn main() {
 
     let observed = args.trace_out.is_some() || args.metrics;
     let slo = SloPolicy::calibrated(&model);
-    let (adaptive, timeline) = run_arm(
-        &model,
-        ControllerConfig::adaptive(slo),
-        args.seed,
-        args.requests,
-        observed,
-    );
-    let (baseline, _) = run_arm(
-        &model,
-        ControllerConfig::static_baseline(slo),
-        args.seed,
-        args.requests,
-        false,
-    );
+    // The two controller arms share nothing but the (cloned) model and
+    // seed, so they run as two executor tasks; results come back in
+    // index order, keeping output byte-identical for every --jobs.
+    let mut arms = heterollm::exec::Executor::new(args.jobs).run(2, |i| {
+        if i == 0 {
+            run_arm(
+                &model,
+                ControllerConfig::adaptive(slo),
+                args.seed,
+                args.requests,
+                observed,
+            )
+        } else {
+            run_arm(
+                &model,
+                ControllerConfig::static_baseline(slo),
+                args.seed,
+                args.requests,
+                false,
+            )
+        }
+    });
+    let (baseline, _) = arms.pop().expect("baseline arm");
+    let (adaptive, timeline) = arms.pop().expect("adaptive arm");
 
     let mut t = Table::new(&["metric", "adaptive", "static"]);
     let (a, s) = (&adaptive.summary, &baseline.summary);

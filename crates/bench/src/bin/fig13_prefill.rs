@@ -29,8 +29,9 @@ const ENGINES: [EngineKind; 7] = [
     EngineKind::HeteroTensor,
 ];
 
-fn parse_trace_out(bin: &str) -> Option<String> {
+fn parse_trace_out(bin: &str) -> (Option<String>, usize) {
     let mut out = None;
+    let mut jobs = 1;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -40,6 +41,13 @@ fn parse_trace_out(bin: &str) -> Option<String> {
                     std::process::exit(2)
                 }));
             }
+            "--jobs" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("{bin}: --jobs needs a value");
+                    std::process::exit(2)
+                });
+                jobs = hetero_bench::parse_jobs(bin, &raw);
+            }
             "--analyze" | "--help" | "-h" => {}
             other => {
                 eprintln!("{bin}: unexpected argument '{other}'");
@@ -48,41 +56,63 @@ fn parse_trace_out(bin: &str) -> Option<String> {
             }
         }
     }
-    out
+    (out, jobs)
 }
 
 fn main() {
     hetero_bench::maybe_help(
         "fig13_prefill",
         "Figure 13: prefill speed across engines, models, and prompt lengths",
-        &[(
-            "--trace-out PATH",
-            "also write a Chrome trace of Hetero-tensor prefilling Llama-8B at seq 256",
-        )],
+        &[
+            (
+                "--trace-out PATH",
+                "also write a Chrome trace of Hetero-tensor prefilling Llama-8B at seq 256",
+            ),
+            (
+                "--jobs N",
+                "workers for the engine sessions (default 1; output is byte-identical for \
+every value)",
+            ),
+        ],
     );
     hetero_bench::maybe_analyze();
-    let trace_out = parse_trace_out("fig13_prefill");
+    let (trace_out, jobs) = parse_trace_out("fig13_prefill");
     println!("Figure 13: prefill speed (tokens/s)\n");
     let seqs = [64usize, 256, 1024];
-    let mut points = Vec::new();
 
-    for model in ModelConfig::evaluation_models() {
+    // Every (model, engine, seq) cell is an independent session; the
+    // executor merges by index, so tables render identically for
+    // every --jobs value.
+    let models = ModelConfig::evaluation_models();
+    let cells: Vec<(usize, usize, usize)> = (0..models.len())
+        .flat_map(|mi| {
+            (0..ENGINES.len()).flat_map(move |ei| (0..seqs.len()).map(move |si| (mi, ei, si)))
+        })
+        .collect();
+    let rates = heterollm::exec::Executor::new(jobs).run(cells.len(), |i| {
+        let (mi, ei, si) = cells[i];
+        let mut e = ENGINES[ei].build(&models[mi], SyncMechanism::Fast);
+        e.prefill(seqs[si]).tokens_per_sec()
+    });
+    let mut points = Vec::new();
+    for (&(mi, ei, si), &rate) in cells.iter().zip(&rates) {
+        points.push(Point {
+            model: models[mi].name.clone(),
+            engine: ENGINES[ei].name().into(),
+            seq: seqs[si],
+            tokens_per_sec: rate,
+        });
+    }
+    for (mi, model) in models.iter().enumerate() {
         println!("== {} ==", model.name);
         let mut t = Table::new(&["engine", "seq 64", "seq 256", "seq 1024"]);
-        for kind in ENGINES {
-            let mut cells = vec![kind.name().to_string()];
-            for &seq in &seqs {
-                let mut e = kind.build(&model, SyncMechanism::Fast);
-                let rate = e.prefill(seq).tokens_per_sec();
-                cells.push(fmt(rate));
-                points.push(Point {
-                    model: model.name.clone(),
-                    engine: kind.name().into(),
-                    seq,
-                    tokens_per_sec: rate,
-                });
+        for (ei, kind) in ENGINES.iter().enumerate() {
+            let mut row_cells = vec![kind.name().to_string()];
+            for si in 0..seqs.len() {
+                let idx = (mi * ENGINES.len() + ei) * seqs.len() + si;
+                row_cells.push(fmt(rates[idx]));
             }
-            t.row(&cells);
+            t.row(&row_cells);
         }
         t.print();
         println!();

@@ -28,8 +28,9 @@ const ENGINES: [EngineKind; 6] = [
     EngineKind::HeteroTensor,
 ];
 
-fn parse_trace_out(bin: &str) -> Option<String> {
+fn parse_trace_out(bin: &str) -> (Option<String>, usize) {
     let mut out = None;
+    let mut jobs = 1;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -39,6 +40,13 @@ fn parse_trace_out(bin: &str) -> Option<String> {
                     std::process::exit(2)
                 }));
             }
+            "--jobs" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("{bin}: --jobs needs a value");
+                    std::process::exit(2)
+                });
+                jobs = hetero_bench::parse_jobs(bin, &raw);
+            }
             "--analyze" | "--help" | "-h" => {}
             other => {
                 eprintln!("{bin}: unexpected argument '{other}'");
@@ -47,22 +55,28 @@ fn parse_trace_out(bin: &str) -> Option<String> {
             }
         }
     }
-    out
+    (out, jobs)
 }
 
 fn main() {
     hetero_bench::maybe_help(
         "fig16_decode",
         "Figure 16: decoding rate of all engines across the four models",
-        &[(
-            "--trace-out PATH",
-            "also write a Chrome trace of Hetero-tensor decoding 16 tokens on Llama-8B",
-        )],
+        &[
+            (
+                "--trace-out PATH",
+                "also write a Chrome trace of Hetero-tensor decoding 16 tokens on Llama-8B",
+            ),
+            (
+                "--jobs N",
+                "workers for the engine sessions (default 1; output is byte-identical for \
+every value)",
+            ),
+        ],
     );
     hetero_bench::maybe_analyze();
-    let trace_out = parse_trace_out("fig16_decode");
+    let (trace_out, jobs) = parse_trace_out("fig16_decode");
     println!("Figure 16: decoding rate (tokens/s), prompt length 256\n");
-    let mut points = Vec::new();
     let models = ModelConfig::evaluation_models();
     let mut t = Table::new(&[
         "engine",
@@ -71,11 +85,19 @@ fn main() {
         "Llama-3B",
         "InternLM-1.8B",
     ]);
-    for kind in ENGINES {
+    // Every (engine, model) cell is an independent session; the
+    // executor merges by index, so the table renders identically for
+    // every --jobs value.
+    let rates = heterollm::exec::Executor::new(jobs).run(ENGINES.len() * models.len(), |i| {
+        let (ei, mi) = (i / models.len(), i % models.len());
+        let mut e = ENGINES[ei].build(&models[mi], SyncMechanism::Fast);
+        e.decode(256, 16).tokens_per_sec()
+    });
+    let mut points = Vec::new();
+    for (ei, kind) in ENGINES.iter().enumerate() {
         let mut cells = vec![kind.name().to_string()];
-        for model in &models {
-            let mut e = kind.build(model, SyncMechanism::Fast);
-            let rate = e.decode(256, 16).tokens_per_sec();
+        for (mi, model) in models.iter().enumerate() {
+            let rate = rates[ei * models.len() + mi];
             cells.push(fmt(rate));
             points.push(Point {
                 model: model.name.clone(),

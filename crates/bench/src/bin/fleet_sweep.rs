@@ -18,7 +18,10 @@
 //! `shed-starvation` fleet lint.
 //!
 //! Flags: `--seed N` (default 42), `--devices N` (default 256),
-//! `--requests N` (default 3000), `--json` (print the
+//! `--requests N` (default 3000), `--jobs N` (workers for the
+//! per-device calibration sessions, default 1 — output is
+//! byte-identical for every value; CI `cmp`s `--jobs 1` against
+//! `--jobs 4`), `--json` (print the
 //! machine-readable comparison on stdout), `--events-out FILE` (also
 //! record the typed fleet event-log pair, write it as JSON, and gate
 //! the arms through the past-time-LTL monitor: robust must certify
@@ -32,13 +35,14 @@ struct Args {
     seed: u64,
     devices: usize,
     requests: usize,
+    jobs: usize,
     json: bool,
     events_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fleet_sweep [--seed N] [--devices N] [--requests N] [--json] \
+        "usage: fleet_sweep [--seed N] [--devices N] [--requests N] [--jobs N] [--json] \
          [--events-out FILE] [--analyze]"
     );
     std::process::exit(2);
@@ -49,6 +53,7 @@ fn parse_args() -> Args {
         seed: 42,
         devices: 256,
         requests: 3000,
+        jobs: 1,
         json: false,
         events_out: None,
     };
@@ -63,6 +68,7 @@ fn parse_args() -> Args {
             "--requests" => {
                 args.requests = hetero_bench::parse_flag("fleet_sweep", "--requests", &value());
             }
+            "--jobs" => args.jobs = hetero_bench::parse_jobs("fleet_sweep", &value()),
             "--json" => args.json = true,
             "--events-out" => args.events_out = Some(value()),
             "--analyze" => {} // consumed by maybe_analyze
@@ -181,6 +187,11 @@ fn main() {
             ("--seed N", "workload/fault/jitter seed (default 42)"),
             ("--devices N", "fleet size (default 256)"),
             ("--requests N", "requests offered (default 3000)"),
+            (
+                "--jobs N",
+                "workers for the per-device calibration sessions (default 1; output is \
+byte-identical for every value)",
+            ),
             ("--json", "print the machine-readable comparison on stdout"),
             (
                 "--events-out FILE",
@@ -196,11 +207,10 @@ fn main() {
         args.devices, args.requests, args.seed
     );
 
-    let sim = FleetSim::new(FleetConfig::standard(
-        args.seed,
-        args.devices,
-        args.requests,
-    ));
+    let sim = FleetSim::with_jobs(
+        FleetConfig::standard(args.seed, args.devices, args.requests),
+        args.jobs,
+    );
     for p in sim.profiles() {
         println!(
             "profile: {} (prefill {} ns/tok, decode {} ns/tok)",

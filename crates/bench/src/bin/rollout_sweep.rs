@@ -26,7 +26,9 @@
 //! runs the binary twice and `cmp`s the recorded event logs.
 //!
 //! Flags: `--seed N` (default 42), `--devices N` (default 256),
-//! `--requests N` (default 1500, per stage window), `--json` (print
+//! `--requests N` (default 1500, per stage window), `--jobs N`
+//! (workers for the per-device calibration sessions, default 1 —
+//! output is byte-identical for every value), `--json` (print
 //! the machine-readable report pair on stdout), `--events-out FILE`
 //! (record the master event log of both rollouts as a JSON
 //! `RolloutLogSet`), `--analyze` (standard pre-experiment solver
@@ -43,13 +45,14 @@ struct Args {
     seed: u64,
     devices: usize,
     requests: usize,
+    jobs: usize,
     json: bool,
     events_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rollout_sweep [--seed N] [--devices N] [--requests N] [--json] \
+        "usage: rollout_sweep [--seed N] [--devices N] [--requests N] [--jobs N] [--json] \
          [--events-out FILE] [--analyze]"
     );
     std::process::exit(2);
@@ -60,6 +63,7 @@ fn parse_args() -> Args {
         seed: 42,
         devices: 256,
         requests: 1500,
+        jobs: 1,
         json: false,
         events_out: None,
     };
@@ -74,6 +78,7 @@ fn parse_args() -> Args {
             "--requests" => {
                 args.requests = hetero_bench::parse_flag("rollout_sweep", "--requests", &value());
             }
+            "--jobs" => args.jobs = hetero_bench::parse_jobs("rollout_sweep", &value()),
             "--json" => args.json = true,
             "--events-out" => args.events_out = Some(value()),
             "--analyze" => {} // consumed by maybe_analyze
@@ -255,6 +260,11 @@ fn main() {
                 "--requests N",
                 "requests offered per stage window (default 1500)",
             ),
+            (
+                "--jobs N",
+                "workers for the per-device calibration sessions (default 1; output is \
+byte-identical for every value)",
+            ),
             ("--json", "print the machine-readable report pair on stdout"),
             (
                 "--events-out FILE",
@@ -270,11 +280,10 @@ fn main() {
         args.devices, args.requests, args.seed
     );
 
-    let sim = FleetSim::new(FleetConfig::standard(
-        args.seed,
-        args.devices,
-        args.requests,
-    ));
+    let sim = FleetSim::with_jobs(
+        FleetConfig::standard(args.seed, args.devices, args.requests),
+        args.jobs,
+    );
     let cfg = RolloutConfig::standard();
     let stages = cfg.stages.len() as u32;
     let ctl = RolloutController::new(&sim, cfg);

@@ -110,17 +110,62 @@ pub fn parse_flag<T: std::str::FromStr>(bin: &str, flag: &str, raw: &str) -> T {
     })
 }
 
+/// Validate a raw `--jobs` value: a positive worker count, or exit
+/// **2** with the uniform `bad value` message.
+///
+/// Every session-running binary that accepts `--jobs N` funnels the
+/// raw string through here, so `--jobs 0` and `--jobs junk` fail
+/// identically across the suite. The determinism contract (see
+/// `PERFORMANCE.md`) is that `--jobs` only changes wall-clock time:
+/// output is byte-identical for every accepted value.
+pub fn parse_jobs(bin: &str, raw: &str) -> usize {
+    let jobs: usize = parse_flag(bin, "--jobs", raw);
+    if jobs == 0 {
+        eprintln!("{bin}: bad value '{raw}' for --jobs (must be at least 1)");
+        eprintln!("run with --help for usage");
+        std::process::exit(2);
+    }
+    jobs
+}
+
+/// Scan argv for the shared `--jobs N` flag (default 1), for binaries
+/// whose remaining argv is handled by [`expect_no_flags`] rather than
+/// a flag loop of their own. Bad values exit **2** via [`parse_jobs`];
+/// a trailing `--jobs` with no value exits **2** too.
+pub fn jobs_from_args(bin: &str) -> usize {
+    let mut jobs = 1;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let raw = it.next().unwrap_or_else(|| {
+                eprintln!("{bin}: --jobs needs a value");
+                eprintln!("run with --help for usage");
+                std::process::exit(2)
+            });
+            jobs = parse_jobs(bin, &raw);
+        }
+    }
+    jobs
+}
+
 /// Reject stray command-line arguments for binaries that define no
 /// flags of their own (exit **2**), keeping argv handling uniform
 /// across the suite.
 ///
 /// The shared `--analyze` / `--help` / `-h` flags are allowed (they
 /// are consumed by [`maybe_analyze`] / [`maybe_help`], which run
-/// first). Anything else — including a well-intentioned `--seed` on a
-/// binary that is deterministic by construction — is an error, not
-/// silently ignored.
+/// first), as is `--jobs N` (read by [`jobs_from_args`] on binaries
+/// that run parallelizable sessions). Anything else — including a
+/// well-intentioned `--seed` on a binary that is deterministic by
+/// construction — is an error, not silently ignored.
 pub fn expect_no_flags(bin: &str) {
-    for a in std::env::args().skip(1) {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            // Value validated by jobs_from_args; skip it here.
+            it.next();
+            continue;
+        }
         if a != "--analyze" && a != "--help" && a != "-h" {
             eprintln!("{bin}: unexpected argument '{a}' (this binary takes no flags of its own)");
             eprintln!("run with --help for usage");

@@ -1,0 +1,250 @@
+//! Deterministic work-stealing executor for independent seeded tasks.
+//!
+//! Fleet-scale sweeps run thousands of *independent* per-device
+//! sessions (calibration micro-benchmarks, per-SoC projections, sweep
+//! points). Each task is a pure function of its index — it derives
+//! its own RNG stream from `(seed, index)` and touches no shared
+//! mutable state — so the only thing parallelism may change is
+//! *wall-clock time*, never results. [`Executor`] enforces that shape:
+//!
+//! - tasks are identified by index `0..n`;
+//! - workers are `std::thread::scope` threads claiming indices from a
+//!   shared range registry (contiguous chunks, stolen in halves when
+//!   a worker runs dry — classic work stealing, `Mutex` + channels,
+//!   no external dependencies);
+//! - results are sent back tagged with their index over an
+//!   [`std::sync::mpsc`] channel and collected into a `Vec` in index
+//!   order.
+//!
+//! Because the output vector is assembled *by index*, the merged
+//! result is byte-for-byte independent of scheduling: `jobs = 1` and
+//! `jobs = N` produce identical `Vec<T>` for any worker count, which
+//! is the determinism contract `fleet_sweep --jobs N` is gated on
+//! (see `PERFORMANCE.md`). With `jobs = 1` (the default everywhere)
+//! no threads are spawned at all — tasks run inline on the caller, so
+//! serial paths are bit-for-bit the pre-executor code path.
+//!
+//! # Examples
+//!
+//! ```
+//! use heterollm::exec::Executor;
+//!
+//! // Each task derives everything from its index; the merged vector
+//! // is identical whatever the worker count.
+//! let serial: Vec<u64> = Executor::new(1).run(100, |i| (i as u64) * 3 + 1);
+//! let parallel: Vec<u64> = Executor::new(4).run(100, |i| (i as u64) * 3 + 1);
+//! assert_eq!(serial, parallel);
+//! ```
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Claimable index ranges, one slot per worker. A worker that drains
+/// its own slot steals the upper half of the largest remaining slot.
+struct RangeRegistry {
+    /// `(next, end)` half-open ranges, indexed by worker.
+    slots: Mutex<Vec<(usize, usize)>>,
+}
+
+impl RangeRegistry {
+    /// Split `0..n` into `jobs` contiguous, near-equal chunks.
+    fn new(n: usize, jobs: usize) -> Self {
+        let base = n / jobs;
+        let extra = n % jobs;
+        let mut slots = Vec::with_capacity(jobs);
+        let mut start = 0;
+        for w in 0..jobs {
+            let len = base + usize::from(w < extra);
+            slots.push((start, start + len));
+            start += len;
+        }
+        Self {
+            slots: Mutex::new(slots),
+        }
+    }
+
+    /// Claim the next index for worker `w`: from its own slot if any
+    /// remain, otherwise by stealing the upper half of the fullest
+    /// other slot. `None` once every index everywhere is claimed.
+    fn claim(&self, w: usize) -> Option<usize> {
+        let mut slots = self.slots.lock().expect("range registry poisoned");
+        let (next, end) = slots[w];
+        if next < end {
+            slots[w].0 += 1;
+            return Some(next);
+        }
+        // Steal: find the victim with the most remaining work.
+        let victim = (0..slots.len())
+            .filter(|&v| v != w)
+            .max_by_key(|&v| slots[v].1 - slots[v].0)?;
+        let (vnext, vend) = slots[victim];
+        let remaining = vend - vnext;
+        if remaining == 0 {
+            return None;
+        }
+        // Take the upper half (at least one index), leave the lower
+        // half with the victim so its cache-warm prefix stays local.
+        let mid = vend - remaining.div_ceil(2);
+        slots[victim].1 = mid;
+        slots[w] = (mid + 1, vend);
+        Some(mid)
+    }
+}
+
+/// A fixed-width pool of workers executing indexed independent tasks.
+///
+/// See the [module docs](self) for the determinism contract.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// New executor running `jobs` tasks concurrently (clamped up to
+    /// at least 1). `Executor::new(1)` runs everything inline on the
+    /// calling thread.
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `f(0), f(1), …, f(tasks - 1)` and return the results in
+    /// index order.
+    ///
+    /// `f` must be a pure function of its index (derive any RNG
+    /// stream from the index, share nothing mutable): the returned
+    /// vector is then identical for every `jobs` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panics on any index (the panic is propagated to
+    /// the caller when the worker scope joins).
+    pub fn run<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.jobs.min(tasks);
+        if workers <= 1 {
+            // Inline serial path: no threads, no channels — exactly
+            // the loop a pre-executor caller would have written.
+            return (0..tasks).map(f).collect();
+        }
+        let registry = RangeRegistry::new(tasks, workers);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let tx = tx.clone();
+                    let registry = &registry;
+                    let f = &f;
+                    scope.spawn(move || {
+                        while let Some(i) = registry.claim(w) {
+                            let v = f(i);
+                            if tx.send((i, v)).is_err() {
+                                return; // Receiver gone: caller is unwinding.
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // Join explicitly so a worker's panic payload reaches the
+            // caller verbatim instead of scope's generic message.
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+        for (i, v) in rx {
+            debug_assert!(out[i].is_none(), "task {i} claimed twice");
+            out[i] = Some(v);
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(i, v)| v.unwrap_or_else(|| panic!("task {i} produced no result")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_index_order_regardless_of_jobs() {
+        let expect: Vec<usize> = (0..257).map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = Executor::new(jobs).run(257, |i| i * i);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        Executor::new(7).run(100, |i| counters[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_and_oversubscription_are_fine() {
+        assert_eq!(Executor::new(4).run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(Executor::new(64).run(3, |i| i), vec![0, 1, 2]);
+        assert_eq!(Executor::new(0).jobs(), 1, "jobs clamp to at least 1");
+    }
+
+    #[test]
+    fn uneven_splits_cover_every_index() {
+        // 10 tasks over 3 workers: chunks 4/3/3.
+        let got = Executor::new(3).run(10, |i| i);
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_balances_skewed_workloads() {
+        // Worker 0's chunk is pathologically slow; the others must
+        // steal from it for the run to finish promptly. Correctness
+        // (not timing) is asserted — the result stays index-ordered.
+        let got = Executor::new(4).run(64, |i| {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i * 2
+        });
+        assert_eq!(got, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "task 13 panicked")]
+    fn worker_panics_propagate() {
+        Executor::new(4).run(20, |i| {
+            assert!(i != 13, "task 13 panicked");
+            i
+        });
+    }
+
+    #[test]
+    fn registry_steals_half_of_the_largest_slot() {
+        let reg = RangeRegistry::new(16, 2); // slots: (0,8) (8,16)
+        assert_eq!(reg.claim(0), Some(0));
+        // Drain worker 1's slot.
+        for i in 8..16 {
+            assert_eq!(reg.claim(1), Some(i));
+        }
+        // Worker 1 steals the upper half of worker 0's remainder
+        // (1..8 → victim keeps 1..4, thief takes 4..8).
+        assert_eq!(reg.claim(1), Some(4));
+        assert_eq!(reg.claim(1), Some(5));
+        assert_eq!(reg.claim(0), Some(1));
+    }
+}

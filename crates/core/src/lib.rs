@@ -32,6 +32,7 @@ pub mod api;
 pub mod coldstart;
 pub mod engines;
 pub mod error;
+pub mod exec;
 pub mod functional;
 pub mod functional_engine;
 pub mod integrity;

@@ -50,7 +50,7 @@ pub mod swimlane;
 pub mod timeline;
 
 pub use metrics::{Histogram, MetricCounter, MetricHistogram, MetricsRegistry, MetricsSnapshot};
-pub use timeline::{FlowEdge, Span, SpanKind, Timeline, TimelineRecorder, Track};
+pub use timeline::{FlowEdge, Label, Span, SpanKind, Timeline, TimelineRecorder, Track};
 
 #[allow(unused_imports)] // rustdoc link target
 use hetero_soc::SimTime;

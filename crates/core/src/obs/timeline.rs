@@ -9,9 +9,94 @@
 //! artifact.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use hetero_soc::sync::SyncMechanism;
 use hetero_soc::{Backend, KernelDesc, OpKind, SimTime};
+
+/// A shared, immutable display label for spans and flows.
+///
+/// Cloning a `Label` bumps a reference count instead of copying
+/// characters, so splicing per-request engine timelines into the
+/// controller-wide timeline ([`Timeline::append_shifted`]) is
+/// allocation-free per span, and [`TimelineRecorder`] hands the same
+/// interned kernel name to every span that repeats it rather than
+/// re-formatting and re-allocating per kernel launch — the dominant
+/// allocation on the observed-session hot path.
+///
+/// It dereferences to `str`, so every read-side consumer (the Chrome
+/// exporter, the swimlane renderer, assertions against `&str`
+/// literals) treats it exactly like the `String` it replaced.
+///
+/// # Examples
+///
+/// ```
+/// use heterollm::obs::Label;
+///
+/// let a = Label::from("matmul[256x4096x4096]");
+/// let b = a.clone(); // O(1): shared, not copied
+/// assert_eq!(a, b);
+/// assert_eq!(b, "matmul[256x4096x4096]");
+/// assert!(a.starts_with("matmul")); // derefs to &str
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(Arc<str>);
+
+impl std::ops::Deref for Label {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Self(Arc::from(s))
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Self(Arc::from(s))
+    }
+}
+
+impl From<&String> for Label {
+    fn from(s: &String) -> Self {
+        Self(Arc::from(s.as_str()))
+    }
+}
+
+impl From<&Label> for Label {
+    fn from(l: &Label) -> Self {
+        l.clone()
+    }
+}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
 
 /// One horizontal row of the timeline — a hardware unit or the
 /// runtime controller's control plane.
@@ -97,7 +182,7 @@ pub struct Span {
     /// Category.
     pub kind: SpanKind,
     /// Display name (kernel op, sync mechanism, controller action).
-    pub name: String,
+    pub name: Label,
     /// Start, simulated nanoseconds.
     pub start: SimTime,
     /// End, simulated nanoseconds (`end >= start`).
@@ -117,7 +202,7 @@ pub struct FlowEdge {
     /// Unique id binding the `s` and `f` events.
     pub id: u64,
     /// Display name, e.g. `sync:fast`.
-    pub name: String,
+    pub name: Label,
     /// Producing track.
     pub from_track: Track,
     /// Time on the producing track.
@@ -151,7 +236,7 @@ impl Timeline {
         &mut self,
         track: Track,
         kind: SpanKind,
-        name: impl Into<String>,
+        name: impl Into<Label>,
         start: SimTime,
         end: SimTime,
     ) {
@@ -167,7 +252,7 @@ impl Timeline {
     /// Record a flow edge, returning its id.
     pub fn push_flow(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Label>,
         from_track: Track,
         from_time: SimTime,
         to_track: Track,
@@ -322,9 +407,20 @@ impl Timeline {
 /// [`crate::trace::ConcurrencyRecorder`]. Engines call it at the same
 /// hook points (serial kernels, backend switches, parallel sections)
 /// with SoC-clock readings taken before and after each action.
+///
+/// Label memoization: a decode loop launches the *same* kernels layer
+/// after layer, token after token, so the recorder interns every
+/// derived name ([`Label`]) keyed by what it was derived from (matmul
+/// shape, sync mechanism, compile bucket) and hands out O(1) clones —
+/// the formatted string is built once per distinct name per session,
+/// not once per span.
 #[derive(Debug, Default)]
 pub struct TimelineRecorder {
     tl: Timeline,
+    matmul_labels: BTreeMap<(usize, usize, usize), Label>,
+    static_labels: BTreeMap<&'static str, Label>,
+    sync_labels: BTreeMap<(&'static str, &'static str), Label>,
+    compile_labels: BTreeMap<usize, Label>,
 }
 
 /// Display name of a kernel, derived from its descriptor.
@@ -342,9 +438,36 @@ impl TimelineRecorder {
         Self::default()
     }
 
+    /// The interned label for a kernel descriptor.
+    fn kernel_label(&mut self, kernel: &KernelDesc) -> Label {
+        match &kernel.op {
+            OpKind::Matmul { shape, .. } => self
+                .matmul_labels
+                .entry((shape.m, shape.k, shape.n))
+                .or_insert_with(|| Label::from(kernel_span_name(kernel)))
+                .clone(),
+            OpKind::MemBound { label, .. } => Self::intern(&mut self.static_labels, label.name()),
+            OpKind::HostCopy { .. } => Self::intern(&mut self.static_labels, "host_copy"),
+        }
+    }
+
+    /// The interned `prefix:mechanism` label (switch/rendezvous).
+    fn sync_label(&mut self, prefix: &'static str, mechanism: SyncMechanism) -> Label {
+        self.sync_labels
+            .entry((prefix, mechanism.name()))
+            .or_insert_with(|| Label::from(format!("{prefix}:{}", mechanism.name())))
+            .clone()
+    }
+
+    fn intern(map: &mut BTreeMap<&'static str, Label>, s: &'static str) -> Label {
+        map.entry(s).or_insert_with(|| Label::from(s)).clone()
+    }
+
     /// A serial kernel ran on `backend` over `[start, end]`.
     pub fn kernel(&mut self, backend: Backend, kernel: &KernelDesc, start: SimTime, end: SimTime) {
-        self.kernel_named(backend, &kernel_span_name(kernel), start, end);
+        let name = self.kernel_label(kernel);
+        let track = Track::from_backend(backend);
+        self.tl.push_span(track, SpanKind::Kernel, name, start, end);
     }
 
     /// A serial kernel with an explicit display name (trace-op label).
@@ -364,11 +487,16 @@ impl TimelineRecorder {
         start: SimTime,
         end: SimTime,
     ) {
-        let name = format!("switch:{}", mechanism.name());
-        self.tl
-            .push_span(Track::from_backend(to), SpanKind::Sync, &name, start, end);
+        let name = self.sync_label("switch", mechanism);
+        self.tl.push_span(
+            Track::from_backend(to),
+            SpanKind::Sync,
+            name.clone(),
+            start,
+            end,
+        );
         self.tl.push_flow(
-            &name,
+            name,
             Track::from_backend(from),
             start,
             Track::from_backend(to),
@@ -398,31 +526,36 @@ impl TimelineRecorder {
         self.tl
             .push_span(Track::Npu, SpanKind::Kernel, npu_name, start, npu_end);
         let rendezvous_start = gpu_end.max(npu_end);
-        let name = format!("rendezvous:{}", mechanism.name());
+        let name = self.sync_label("rendezvous", mechanism);
         self.tl.push_span(
             Track::Cpu,
             SpanKind::Sync,
-            &name,
+            name.clone(),
             rendezvous_start,
             rendezvous_end,
         );
+        self.tl.push_flow(
+            name.clone(),
+            Track::Gpu,
+            gpu_end,
+            Track::Cpu,
+            rendezvous_start,
+        );
         self.tl
-            .push_flow(&name, Track::Gpu, gpu_end, Track::Cpu, rendezvous_start);
-        self.tl
-            .push_flow(&name, Track::Npu, npu_end, Track::Cpu, rendezvous_start);
+            .push_flow(name, Track::Npu, npu_end, Track::Cpu, rendezvous_start);
         self.tl.count("parallel_sections", 1);
     }
 
     /// An NPU graph for sequence length `m` compiled over
     /// `[start, end]` (the CPU does the compiling).
     pub fn graph_compile(&mut self, m: usize, start: SimTime, end: SimTime) {
-        self.tl.push_span(
-            Track::Cpu,
-            SpanKind::Cache,
-            format!("graph_compile[{m}]"),
-            start,
-            end,
-        );
+        let name = self
+            .compile_labels
+            .entry(m)
+            .or_insert_with(|| Label::from(format!("graph_compile[{m}]")))
+            .clone();
+        self.tl
+            .push_span(Track::Cpu, SpanKind::Cache, name, start, end);
     }
 
     /// Count a graph-cache lookup: hit (already compiled) or miss.

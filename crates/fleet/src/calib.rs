@@ -1,0 +1,216 @@
+//! Per-device calibration micro-sessions.
+//!
+//! Class-level calibration ([`crate::device::calibrate_profiles`])
+//! prices every device of a Table-1 SoC class identically. Real
+//! fleets are not that uniform: two phones with the same SoC differ
+//! by binning, DVFS tables, DRAM vendor, and ambient temperature —
+//! the silicon lottery. This module runs one *real engine
+//! micro-session per device* on a per-device perturbed copy of its
+//! class [`hetero_soc::SocConfig`] and records how far that device's
+//! measured per-token latencies sit from its class profile, as
+//! all-integer parts-per-million adjustments.
+//!
+//! The sessions are completely independent — each is a pure function
+//! of `(seed, device index)`: the perturbation is drawn from the
+//! device-indexed splitmix64 stream, the engine runs on its own SoC
+//! simulator instance, and the result lands in the output vector *by
+//! device index*. That makes the stage embarrassingly parallel, and
+//! [`heterollm::exec::Executor`] runs it under `--jobs N` with
+//! byte-identical output for every worker count (the determinism
+//! contract `fleet_sweep` is gated on).
+//!
+//! A device whose engine faults during calibration falls back to its
+//! class profile exactly ([`DeviceCalibration::neutral`]) and is
+//! counted, mirroring how class calibration skips faulting SoCs.
+
+use hetero_soc::SocConfig;
+use heterollm::engines::HeteroTensorEngine;
+use heterollm::exec::Executor;
+use heterollm::{InferenceSession, ModelConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceProfile;
+use crate::draw;
+use crate::profiler::PPM;
+
+/// Draw-offset namespace for per-device silicon-lottery perturbation
+/// (decorrelated from fault-plan and selection namespaces).
+const OFF_SILICON: u64 = 11 << 40;
+
+/// Prompt length of the per-device micro-session. Much shorter than
+/// the class shape ([`crate::device::CALIB_PROMPT`]): the class pass
+/// anchors absolute latency, this pass only measures the *ratio* to
+/// it, and a 1k-device sweep runs 1k of these.
+pub const DEVICE_CALIB_PROMPT: usize = 64;
+/// Decode steps of the per-device micro-session.
+pub const DEVICE_CALIB_DECODE: usize = 4;
+
+/// Half-width of the silicon-lottery bandwidth perturbation, ppm.
+/// Memory bandwidth moves by at most ±3%, which keeps every device
+/// well inside the online profiler's 25% drift-resolve threshold:
+/// binning spread must never masquerade as drift.
+pub const SILICON_SPREAD_PPM: u64 = 30_000;
+
+/// How one device's measured per-token latencies sit relative to its
+/// class profile, in parts per million (exactly [`PPM`] = on-profile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceCalibration {
+    /// Measured prefill ns/token as ppm of the class profile's.
+    pub prefill_adjust_ppm: u64,
+    /// Measured decode ns/token as ppm of the class profile's.
+    pub decode_adjust_ppm: u64,
+}
+
+impl DeviceCalibration {
+    /// The class profile verbatim — used when a device's calibration
+    /// session faults.
+    pub const fn neutral() -> Self {
+        Self {
+            prefill_adjust_ppm: PPM,
+            decode_adjust_ppm: PPM,
+        }
+    }
+}
+
+/// The calibrated fleet: one [`DeviceCalibration`] per device plus
+/// the count of devices whose sessions faulted (and fell back to
+/// their class profile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetCalibration {
+    /// Per-device adjustments, indexed by device id.
+    pub devices: Vec<DeviceCalibration>,
+    /// Devices whose calibration session faulted.
+    pub faulted: u64,
+}
+
+/// The per-device silicon-lottery bandwidth factor, drawn uniformly
+/// from `[1 - spread, 1 + spread]` on the device-indexed stream.
+fn silicon_factor(seed: u64, device: usize) -> f64 {
+    let span = 2 * SILICON_SPREAD_PPM + 1;
+    let ppm = PPM - SILICON_SPREAD_PPM + draw(seed, OFF_SILICON + device as u64) % span;
+    ppm as f64 / PPM as f64
+}
+
+/// A device's individual SoC: its class config with every memory
+/// bandwidth cap scaled by the silicon-lottery factor.
+fn device_soc(class: &SocConfig, factor: f64) -> SocConfig {
+    let mut cfg = class.clone();
+    cfg.mem.soc_peak_gbps *= factor;
+    cfg.mem.cpu_cap_gbps *= factor;
+    cfg.mem.gpu_cap_gbps *= factor;
+    cfg.mem.npu_cap_gbps *= factor;
+    cfg
+}
+
+/// Calibrate every device in the fleet: run the per-device
+/// micro-session for devices `0..devices` across `jobs` workers and
+/// return the index-ordered adjustments.
+///
+/// Device `d` belongs to class `d % profiles.len()` (the same
+/// assignment the replay loop uses). The output is byte-identical for
+/// every `jobs` value — each task depends only on `(seed, d)` and the
+/// executor merges by index.
+pub fn calibrate_devices(
+    model: &ModelConfig,
+    profiles: &[DeviceProfile],
+    socs: &[SocConfig],
+    seed: u64,
+    devices: usize,
+    jobs: usize,
+) -> FleetCalibration {
+    assert_eq!(profiles.len(), socs.len(), "profile/soc tables misaligned");
+    assert!(!profiles.is_empty(), "no calibrated class profiles");
+    let per_device = Executor::new(jobs).run(devices, |d| {
+        let class = d % profiles.len();
+        let factor = silicon_factor(seed, d);
+        let engine = HeteroTensorEngine::with_soc_config(model, device_soc(&socs[class], factor));
+        let mut session = InferenceSession::from_engine(Box::new(engine));
+        let Ok(report) = session.try_run(DEVICE_CALIB_PROMPT, DEVICE_CALIB_DECODE) else {
+            return None;
+        };
+        let prefill_ns = report.prefill.elapsed.as_nanos() / DEVICE_CALIB_PROMPT as u64;
+        let decode_ns = report.decode.per_token().as_nanos();
+        // Project the measured per-token latencies onto the class
+        // profile's *micro-session* measurement, not its headline
+        // numbers: the short shape pays proportionally more fixed
+        // cost, and only same-shape ratios cancel that.
+        Some((class, prefill_ns, decode_ns))
+    });
+    // The class's own micro-session baseline, computed once per class
+    // on the *unperturbed* config so ratios are anchored per class.
+    let class_baseline: Vec<Option<(u64, u64)>> = socs
+        .iter()
+        .map(|cfg| {
+            let engine = HeteroTensorEngine::with_soc_config(model, cfg.clone());
+            let mut session = InferenceSession::from_engine(Box::new(engine));
+            let report = session
+                .try_run(DEVICE_CALIB_PROMPT, DEVICE_CALIB_DECODE)
+                .ok()?;
+            Some((
+                report.prefill.elapsed.as_nanos() / DEVICE_CALIB_PROMPT as u64,
+                report.decode.per_token().as_nanos(),
+            ))
+        })
+        .collect();
+    let mut faulted = 0u64;
+    let devices = per_device
+        .into_iter()
+        .map(|measured| {
+            let baselined = measured.and_then(|(class, prefill_ns, decode_ns)| {
+                class_baseline[class].map(|(base_prefill, base_decode)| DeviceCalibration {
+                    prefill_adjust_ppm: prefill_ns.saturating_mul(PPM) / base_prefill.max(1),
+                    decode_adjust_ppm: decode_ns.saturating_mul(PPM) / base_decode.max(1),
+                })
+            });
+            baselined.unwrap_or_else(|| {
+                faulted += 1;
+                DeviceCalibration::neutral()
+            })
+        })
+        .collect();
+    FleetCalibration { devices, faulted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::calibrate_profiles_with_socs;
+
+    #[test]
+    fn per_device_calibration_is_jobs_invariant_and_bounded() {
+        let model = ModelConfig::internlm_1_8b();
+        let (profiles, socs) = calibrate_profiles_with_socs(&model);
+        let serial = calibrate_devices(&model, &profiles, &socs, 42, 12, 1);
+        let parallel = calibrate_devices(&model, &profiles, &socs, 42, 12, 4);
+        assert_eq!(serial, parallel, "jobs must not change the output");
+        assert_eq!(serial.devices.len(), 12);
+        assert_eq!(serial.faulted, 0);
+        for c in &serial.devices {
+            // ±3% bandwidth wiggle cannot move per-token time by more
+            // than ~10%, let alone toward the 25% drift threshold.
+            assert!(c.prefill_adjust_ppm.abs_diff(PPM) < 100_000, "{c:?}");
+            assert!(c.decode_adjust_ppm.abs_diff(PPM) < 100_000, "{c:?}");
+        }
+        // The lottery is not a constant: some spread must exist.
+        assert!(
+            serial
+                .devices
+                .windows(2)
+                .any(|w| w[0].prefill_adjust_ppm != w[1].prefill_adjust_ppm),
+            "silicon lottery produced a uniform fleet"
+        );
+    }
+
+    #[test]
+    fn silicon_factor_stays_in_band_and_varies() {
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for d in 0..200 {
+            let f = silicon_factor(7, d);
+            assert!((0.97..=1.03).contains(&f), "{f}");
+            seen_lo |= f < 0.995;
+            seen_hi |= f > 1.005;
+        }
+        assert!(seen_lo && seen_hi, "draws never left the midband");
+    }
+}

@@ -37,6 +37,7 @@
 //! values are integer nanoseconds or counts, and same-seed runs
 //! serialize byte-identically (CI `cmp`s two runs).
 
+pub mod calib;
 pub mod device;
 pub mod events;
 pub mod fault;
@@ -47,6 +48,10 @@ pub mod rollout;
 pub mod router;
 pub mod workload;
 
+pub use calib::{
+    calibrate_devices, DeviceCalibration, FleetCalibration, DEVICE_CALIB_DECODE,
+    DEVICE_CALIB_PROMPT, SILICON_SPREAD_PPM,
+};
 pub use device::{
     calibrate_profiles, calibrate_profiles_with_socs, Device, DeviceProfile, CALIB_DECODE,
     CALIB_PROMPT,

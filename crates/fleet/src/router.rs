@@ -29,6 +29,7 @@ use heterollm::obs::MetricsRegistry;
 use heterollm::ModelConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::calib::{calibrate_devices, FleetCalibration};
 use crate::device::{calibrate_profiles_with_socs, Device, DeviceProfile};
 use crate::draw;
 use crate::events::{FleetEvent, FleetEventLog, FleetLogPair, EVENT_LOG_VERSION};
@@ -131,6 +132,7 @@ pub struct FleetSim {
     config: FleetConfig,
     profiles: Vec<DeviceProfile>,
     socs: Vec<SocConfig>,
+    calibration: FleetCalibration,
     requests: Vec<FleetRequest>,
     injector: FaultInjector,
     horizon: SimTime,
@@ -140,19 +142,45 @@ pub struct FleetSim {
 }
 
 impl FleetSim {
-    /// Calibrate profiles, generate the seeded workload and fault
-    /// plan, and derive fleet SLOs (3× the slowest profile's quiet
-    /// per-token latencies at a 512-token prompt).
+    /// [`Self::with_jobs`] on one worker — the serial construction
+    /// every pre-executor caller gets.
     ///
     /// # Panics
     ///
     /// Panics if no Table-1 SoC yields a usable profile (requires an
     /// FP16-capable NPU and a fault-free calibration run).
     pub fn new(config: FleetConfig) -> Self {
+        Self::with_jobs(config, 1)
+    }
+
+    /// Calibrate class profiles, run the per-device calibration
+    /// micro-sessions across `jobs` workers, generate the seeded
+    /// workload and fault plan, and derive fleet SLOs (3× the slowest
+    /// profile's quiet per-token latencies at a 512-token prompt).
+    ///
+    /// `jobs` lives *outside* [`FleetConfig`] because it must never
+    /// change the world: the materialized sim — profiles, per-device
+    /// calibration, workload, fault plan — is byte-identical for every
+    /// `jobs` value (see [`crate::calib`]); only construction
+    /// wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no Table-1 SoC yields a usable profile (requires an
+    /// FP16-capable NPU and a fault-free calibration run).
+    pub fn with_jobs(config: FleetConfig, jobs: usize) -> Self {
         let (profiles, socs) = calibrate_profiles_with_socs(&config.model);
         assert!(
             !profiles.is_empty(),
             "no projectable Table-1 SoC profile calibrated"
+        );
+        let calibration = calibrate_devices(
+            &config.model,
+            &profiles,
+            &socs,
+            config.seed,
+            config.devices,
+            jobs,
         );
         let mean_service = profiles
             .iter()
@@ -194,6 +222,7 @@ impl FleetSim {
             config,
             profiles,
             socs,
+            calibration,
             requests,
             injector,
             horizon,
@@ -206,6 +235,11 @@ impl FleetSim {
     /// The calibrated profile table.
     pub fn profiles(&self) -> &[DeviceProfile] {
         &self.profiles
+    }
+
+    /// The per-device silicon-lottery calibration.
+    pub fn calibration(&self) -> &FleetCalibration {
+        &self.calibration
     }
 
     /// The world's configuration.
@@ -659,12 +693,20 @@ impl FleetSim {
                 let link = self.injector.link_delay_at(idx, start);
                 let profile = &self.profiles[devices[idx].profile];
                 let slowdown = self.injector.slowdown_at(idx, start);
-                let mut prefill =
-                    SimTime::from_nanos(profile.prefill_ns_per_token * req.prompt_tokens as u64)
-                        .scale(slowdown);
-                let mut decode =
-                    SimTime::from_nanos(profile.decode_ns_per_token * req.decode_tokens as u64)
-                        .scale(slowdown);
+                // Price from the class profile, adjusted to *this*
+                // device's measured silicon-lottery ratio, then
+                // derated by the current fault condition.
+                let cal = &self.calibration.devices[idx];
+                let mut prefill = scale_ppm(
+                    SimTime::from_nanos(profile.prefill_ns_per_token * req.prompt_tokens as u64),
+                    cal.prefill_adjust_ppm,
+                )
+                .scale(slowdown);
+                let mut decode = scale_ppm(
+                    SimTime::from_nanos(profile.decode_ns_per_token * req.decode_tokens as u64),
+                    cal.decode_adjust_ppm,
+                )
+                .scale(slowdown);
                 if let Some(ov) = overlay.as_deref() {
                     // Canary devices run the candidate's plan; any
                     // drift-resolved device runs its re-solved plan.

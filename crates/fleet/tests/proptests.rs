@@ -358,3 +358,46 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Two full fleet replays (serial + parallel) per case: keep the
+    // case count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The determinism-under-parallelism contract, at the library
+    /// level: a [`FleetSim`] built with any `jobs > 1` produces
+    /// byte-identical serialized [`hetero_fleet::ArmReport`]s and
+    /// canonically-ordered [`hetero_fleet::FleetEventLog`]s to the
+    /// serial `jobs = 1` build, for random seeds, fleet sizes, and
+    /// worker counts. The executor merges per-device calibration
+    /// results by index, so thread scheduling must never leak into
+    /// the world.
+    #[test]
+    fn parallel_fleet_is_byte_identical_to_serial(
+        seed in 1u64..u64::MAX,
+        devices in 4usize..16,
+        requests in 40usize..120,
+        jobs in 2usize..8,
+    ) {
+        let config = FleetConfig::standard(seed, devices, requests);
+        let serial = FleetSim::with_jobs(config.clone(), 1);
+        let parallel = FleetSim::with_jobs(config, jobs);
+        prop_assert_eq!(
+            serial.calibration().devices.clone(),
+            parallel.calibration().devices.clone(),
+            "per-device calibration depends on worker count {}", jobs
+        );
+        let (cmp_s, pair_s) = serial.compare_events();
+        let (cmp_p, pair_p) = parallel.compare_events();
+        prop_assert_eq!(
+            serde_json::to_string(&cmp_s).unwrap(),
+            serde_json::to_string(&cmp_p).unwrap(),
+            "ArmReport JSON diverged at jobs {}", jobs
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&pair_s).unwrap(),
+            serde_json::to_string(&pair_p).unwrap(),
+            "FleetEventLog pair diverged at jobs {}", jobs
+        );
+    }
+}

@@ -31,10 +31,26 @@ pub fn matmul_ref(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &[m, n])
 }
 
-/// Cache-friendlier GEMM (i-k-j loop order with row accumulation).
+/// Column-tile width: a `KB × NB` f32 panel of `b` is 64 KiB, sized
+/// to sit in L2 while every row of `a` streams against it.
+const NB: usize = 256;
+/// Depth-tile height of the same panel.
+const KB: usize = 64;
+
+/// Blocked, cache-tiled GEMM.
 ///
-/// Produces bit-identical results to [`matmul_ref`] because each output
-/// element accumulates the `k` terms in the same ascending order.
+/// Loops are ordered `(n-tile, k-tile, i, k, j)`: one `KB × NB` panel
+/// of `b` is reused across **all** `m` rows of `a` before the next
+/// panel is touched, so `b` — the large, streamed operand in the
+/// untiled `i-k-j` order — is read from cache instead of DRAM once
+/// `k·n` outgrows the LLC. Within a tile the inner kernel is the same
+/// row-accumulation as before.
+///
+/// Produces bit-identical results to [`matmul_ref`] (and to the
+/// untiled predecessor) because each output element still accumulates
+/// its `k` terms in ascending order: `k`-tiles are visited in
+/// ascending order and `k` ascends within each tile, and the
+/// zero-skip is per `(i, k)` term exactly as before.
 ///
 /// # Examples
 ///
@@ -50,16 +66,22 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k, n) = check_mm(a, b)?;
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    for i in 0..m {
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for p in 0..k {
-            let aip = ad[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let b_row = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += aip * bv;
+    for jt in (0..n).step_by(NB) {
+        let jhi = (jt + NB).min(n);
+        for pt in (0..k).step_by(KB) {
+            let phi = (pt + KB).min(k);
+            for i in 0..m {
+                let out_row = &mut out[i * n + jt..i * n + jhi];
+                for p in pt..phi {
+                    let aip = ad[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &bd[p * n + jt..p * n + jhi];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aip * bv;
+                    }
+                }
             }
         }
     }
@@ -113,6 +135,71 @@ mod tests {
         let fast = matmul(&a, &b).unwrap();
         let slow = matmul_ref(&a, &b).unwrap();
         fast.assert_close(&slow, 1e-5);
+    }
+
+    /// The untiled `i-k-j` kernel the blocked [`matmul`] replaced,
+    /// zero-skip included. Tiling must be *bit*-identical to it.
+    fn matmul_untiled(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, ka) = a.matrix_dims().unwrap();
+        let (_, n) = b.matrix_dims().unwrap();
+        let k = ka;
+        let mut out = vec![0.0f32; m * n];
+        let (ad, bd) = (a.data(), b.data());
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                let aip = ad[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aip * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).unwrap()
+    }
+
+    #[test]
+    fn tiled_matmul_bit_identical_to_untiled() {
+        let rng = WeightRng::new(16);
+        // Shapes straddling both tile edges (KB = 64, NB = 256):
+        // interior-only, exact-multiple, and ragged remainders.
+        for (m, k, n) in [
+            (3, 5, 7),
+            (5, 64, 256),
+            (4, 65, 257),
+            (2, 130, 300),
+            (1, 200, 513),
+        ] {
+            let mut a = rng
+                .uniform(&format!("a{m}x{k}"), &[m, k], 1.0)
+                .unwrap()
+                .data()
+                .to_vec();
+            // Sprinkle exact and signed zeros so the zero-skip path is
+            // exercised on both sides of a tile boundary.
+            for (idx, v) in a.iter_mut().enumerate() {
+                if idx % 7 == 0 {
+                    *v = 0.0;
+                }
+                if idx % 11 == 0 {
+                    *v = -0.0;
+                }
+            }
+            let a = Tensor::from_vec(a, &[m, k]).unwrap();
+            let b = rng.uniform(&format!("b{k}x{n}"), &[k, n], 1.0).unwrap();
+            let tiled = matmul(&a, &b).unwrap();
+            let flat = matmul_untiled(&a, &b);
+            for (i, (x, y)) in tiled.data().iter().zip(flat.data()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "[{m},{k}]x[{k},{n}] element {i}: {x} vs {y}"
+                );
+            }
+        }
     }
 
     #[test]

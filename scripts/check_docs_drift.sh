@@ -8,7 +8,7 @@ set -u
 
 cd "$(dirname "$0")/.."
 
-DOCS="EXPERIMENTS.md README.md OBSERVABILITY.md DESIGN.md"
+DOCS="EXPERIMENTS.md README.md OBSERVABILITY.md DESIGN.md PERFORMANCE.md"
 fail=0
 
 bins=$(grep -ho -- '--bin [a-z0-9_]*' $DOCS | awk '{print $2}' | sort -u)
@@ -45,7 +45,8 @@ done
 # Advertised flags must be accepted: for each documented invocation of
 # the observability binaries, every long flag must appear in the
 # binary's --help output.
-for bin in heterollm_sim timeline fault_sweep fleet_sweep fig13_prefill fig16_decode; do
+for bin in heterollm_sim timeline fault_sweep fleet_sweep fig13_prefill \
+    fig16_decode bench_sim compare_socs rollout_sweep; do
     exe="target/release/$bin"
     [ -x "$exe" ] || continue
     help=$("$exe" --help 2>&1)
@@ -57,6 +58,16 @@ for bin in heterollm_sim timeline fault_sweep fleet_sweep fig13_prefill fig16_de
             fail=1
         fi
     done
+done
+
+# Every scripts/*.sh the docs advertise must exist and be executable
+# (catches renamed harness scripts like bench_sim.sh / bench_fleet.sh).
+scripts=$(grep -ho -- 'scripts/[a-z0-9_]*\.sh' $DOCS | sort -u)
+for script in $scripts; do
+    if [ ! -x "$script" ]; then
+        echo "docs-drift: docs reference $script but it is missing or not executable" >&2
+        fail=1
+    fi
 done
 
 if [ "$fail" -eq 0 ]; then
